@@ -1,0 +1,58 @@
+// Shared setup for the figure/table reproduction benches.
+//
+// Every bench regenerates the synthetic history from the same seed,
+// so their outputs are mutually consistent and bit-stable across
+// runs. XRPL_BENCH_PAYMENTS scales the history (default 250,000
+// payments, ~1/90 of the paper's 23M — all rates preserved).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "datagen/history.hpp"
+
+namespace xrpl::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr) return fallback;
+    const long long parsed = std::atoll(value);
+    return parsed > 0 ? static_cast<std::uint64_t>(parsed) : fallback;
+}
+
+inline datagen::GeneratorConfig default_history_config() {
+    datagen::GeneratorConfig config;
+    config.seed = 20130101;
+    config.num_users = 8'000;
+    config.num_gateways = 40;
+    config.num_market_makers = 120;
+    config.num_merchants = 500;
+    config.num_hubs = 20;
+    config.target_payments = env_u64("XRPL_BENCH_PAYMENTS", 250'000);
+    return config;
+}
+
+inline void print_header(const std::string& id, const std::string& title) {
+    std::cout << "==========================================================\n"
+              << id << " — " << title << "\n"
+              << "==========================================================\n";
+}
+
+inline void print_paper_note(const std::string& note) {
+    std::cout << "paper: " << note << "\n";
+}
+
+inline datagen::GeneratedHistory generate_default_history() {
+    const datagen::GeneratorConfig config = default_history_config();
+    std::cout << "[generating history: " << config.target_payments
+              << " payments, seed " << config.seed << " ...]\n";
+    datagen::GeneratedHistory history = datagen::generate_history(config);
+    std::cout << "[done: " << history.records.size() << " payments over "
+              << history.pages << " ledger pages, "
+              << util::format_date(history.first_close) << " .. "
+              << util::format_date(history.last_close) << "]\n\n";
+    return history;
+}
+
+}  // namespace xrpl::bench

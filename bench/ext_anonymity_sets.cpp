@@ -1,0 +1,39 @@
+// Extension — anonymity-set sizes behind Fig 3's single percentage.
+//
+// For each of the paper's ten configurations: the IG (= payments with
+// anonymity set 1), the share identifiable within small sets, and the
+// mean set size. Shows that even "protected" payments typically hide
+// among only a handful of candidate senders.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/anonymity.hpp"
+#include "core/ig_study.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace xrpl;
+    bench::print_header("Extension", "anonymity-set size distribution");
+    const datagen::GeneratedHistory history = bench::generate_default_history();
+
+    util::TextTable table({"configuration", "set=1 (IG)", "set<=3", "set<=10",
+                           "mean set", "90% within"});
+    for (const core::ResolutionConfig& config : core::fig3_configurations()) {
+        const core::AnonymityProfile profile =
+            core::analyze_anonymity(history.records, config);
+        table.add_row({config.label(),
+                       util::format_percent(profile.identifiable_within(1)),
+                       util::format_percent(profile.identifiable_within(3)),
+                       util::format_percent(profile.identifiable_within(10)),
+                       util::format_double(profile.mean_set_size(), 1),
+                       std::to_string(profile.set_size_quantile(0.9))});
+    }
+    table.render(std::cout);
+
+    std::cout << "\n";
+    bench::print_paper_note(
+        "extension of Fig 3 following de Montjoye et al. [11]: the paper "
+        "reports only the set=1 column; the others show how little anonymity "
+        "the non-unique payments retain.");
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Extension — §IV's two discussion points, quantified.
+//
+// (1) Validator takeover: knock out the k busiest UNL validators of
+//     the December 2015 population and measure the system's close
+//     rate ("a malicious party hijacking or compromising the majority
+//     of these validators could endanger the whole Ripple system").
+// (2) The reward system the paper proposes as a fix: validator
+//     adoption economics, population growth, and how the grown
+//     population shrugs off the same attack.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "consensus/robustness.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace xrpl;
+    bench::print_header("Extension", "validator takeover & the reward remedy");
+
+    std::cout << "(1) takeover sweep, December 2015 population, 5-member "
+                 "UNL:\n";
+    consensus::ConsensusConfig config = consensus::two_week_config(0.02, 41);
+    const auto sweep =
+        consensus::takeover_sweep(consensus::december_2015(), config, 5);
+    util::TextTable sweep_table(
+        {"UNL validators compromised", "rounds closed", "close rate"});
+    for (const consensus::TakeoverResult& point : sweep) {
+        sweep_table.add_row({std::to_string(point.compromised),
+                             util::format_count(point.pages_closed),
+                             util::format_percent(point.close_rate())});
+    }
+    sweep_table.render(std::cout);
+    std::cout << "(compromising 2 of the 5 UNL members is enough to halt the "
+                 "whole system)\n\n";
+
+    std::cout << "(2) the proposed per-transaction tax reward, 100 epochs:\n";
+    consensus::RewardPolicy policy;
+    policy.reward_per_epoch = 6'000.0;
+    policy.operating_cost_per_epoch = 400.0;
+    policy.initial_validators = 5;
+    policy.adoption_rate = 2.0;
+    const auto trajectory = consensus::simulate_reward_adoption(policy, 100, 7);
+
+    util::TextTable reward_table({"epoch", "validators", "income/validator",
+                                  "close rate if 8 busiest knocked out"});
+    for (const consensus::RewardEpoch& epoch : trajectory) {
+        if (epoch.epoch % 10 != 0 && epoch.epoch != trajectory.size() - 1) {
+            continue;
+        }
+        reward_table.add_row(
+            {std::to_string(epoch.epoch), std::to_string(epoch.validators),
+             util::format_double(epoch.income_per_validator, 0),
+             util::format_percent(epoch.close_rate_under_takeover_of_8)});
+    }
+    reward_table.render(std::cout);
+
+    std::cout << "\n";
+    bench::print_paper_note(
+        "\"a carefully crafted reward system would stimulate the entry of "
+        "new validation servers ... a larger number of validators would lead "
+        "to a better distributed validation process that in turn would "
+        "improve the reliability of the entire system.\"");
+    return 0;
+}

@@ -1,0 +1,59 @@
+// Extension — how the IG depends on history size.
+//
+// The paper measures one fixed 23M-payment history. Re-running the
+// IG over growing prefixes of the synthetic history shows WHY some
+// Fig 3 rows are scale-sensitive: at full resolution the timestamp
+// keeps fingerprints unique no matter how much history accumulates,
+// while the coarse configurations collide more and more as the
+// candidate space fills up (the de Montjoye unicity effect in
+// reverse).
+#include <iostream>
+#include <span>
+
+#include "bench/common.hpp"
+#include "core/ig_study.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace xrpl;
+    bench::print_header("Extension", "information gain vs history size");
+    const datagen::GeneratedHistory history = bench::generate_default_history();
+
+    const core::ResolutionConfig configs[] = {
+        core::fig3_configurations()[0],  // <Am; Tsc; C; D>
+        core::fig3_configurations()[6],  // <Al; Tdy; C; D>
+        core::fig3_configurations()[7],  // <Am; -;   C; D>
+        core::fig3_configurations()[9],  // <Al; Tdy; -; ->
+    };
+
+    std::vector<std::string> header = {"history prefix", "payments"};
+    for (const auto& config : configs) header.push_back(config.label());
+    util::TextTable table(header);
+
+    for (const double fraction : {0.05, 0.10, 0.25, 0.50, 1.00}) {
+        const auto count = static_cast<std::size_t>(
+            fraction * static_cast<double>(history.records.size()));
+        const std::span<const ledger::TxRecord> prefix(history.records.data(),
+                                                       count);
+        const core::Deanonymizer deanonymizer(prefix);
+        std::vector<std::string> row = {
+            util::format_percent(fraction), util::format_count(count)};
+        for (const auto& config : configs) {
+            row.push_back(util::format_percent(
+                deanonymizer.information_gain(config).information_gain()));
+        }
+        table.add_row(std::move(row));
+    }
+    table.render(std::cout);
+
+    std::cout << "\n";
+    bench::print_paper_note(
+        "full-resolution IG is scale-stable (the ledger close time keeps "
+        "separating payments), while the timestamp-free configuration "
+        "collides ever harder as the candidate space fills up. The "
+        "single-sender spam campaigns pull the weakest configuration the "
+        "other way — at the paper's 23M-payment scale, cross-sender "
+        "coverage of the big-amount buckets wins and that row collapses "
+        "to 1.28%.");
+    return 0;
+}

@@ -1,0 +1,71 @@
+// Extension — the appendix's ecosystem counts and concentration.
+//
+// "As of August 2015, Ripple counted more than 165K users, +55K of
+// which were actively participating"; "a handful of 50 peers
+// contributed in about 86% of all the 10M multi-hop transactions".
+// This bench reports the same counts for the synthetic history (at
+// ~1/90 scale) plus the degree distribution and a Gini coefficient of
+// intermediary concentration.
+#include <iostream>
+
+#include "analytics/network_stats.hpp"
+#include "analytics/top_users.hpp"
+#include "bench/common.hpp"
+#include "util/table.hpp"
+#include "util/textplot.hpp"
+
+int main() {
+    using namespace xrpl;
+    bench::print_header("Extension", "ecosystem counts & trust-network shape");
+    const datagen::GeneratedHistory history = bench::generate_default_history();
+
+    const analytics::NetworkStats stats =
+        analytics::compute_network_stats(history.ledger, history.records);
+
+    util::TextTable table({"metric", "value"});
+    table.add_row({"accounts", util::format_count(stats.accounts)});
+    table.add_row({"active senders", util::format_count(stats.active_senders)});
+    table.add_row(
+        {"active participants", util::format_count(stats.active_participants)});
+    table.add_row({"trust lines", util::format_count(stats.trust_lines)});
+    table.add_row({"live offers", util::format_count(stats.live_offers)});
+    table.add_row({"mean trust degree",
+                   util::format_double(stats.mean_degree, 2)});
+    table.add_row({"max trust degree", util::format_count(stats.max_degree)});
+    table.render(std::cout);
+
+    std::cout << "\ntrust-line degree distribution (log bars):\n";
+    std::vector<util::Bar> bars;
+    // Bucket by powers of two to keep the plot compact.
+    std::map<std::uint32_t, std::uint64_t> buckets;
+    for (const auto& [degree, count] : stats.degree_histogram) {
+        std::uint32_t bucket = 1;
+        while (bucket * 2 <= degree + 1) bucket *= 2;
+        buckets[bucket] += count;
+    }
+    for (const auto& [bucket, count] : buckets) {
+        bars.push_back(util::Bar{"deg<" + std::to_string(bucket * 2),
+                                 static_cast<double>(count), -1.0});
+    }
+    util::BarChartOptions options;
+    options.log_scale = true;
+    options.value_header = "# accounts";
+    render_bar_chart(std::cout, bars, options);
+
+    // Concentration of intermediary traffic.
+    std::vector<double> weights;
+    for (const auto& [account, count] : history.intermediary_counts) {
+        weights.push_back(static_cast<double>(count));
+    }
+    const double concentration = analytics::gini(std::move(weights));
+    const double top50 = analytics::coverage_of_top(history.intermediary_counts, 50);
+    std::cout << "\nintermediary concentration: top-50 cover "
+              << util::format_percent(top50) << ", Gini "
+              << util::format_double(concentration, 3) << "\n\n";
+
+    bench::print_paper_note(
+        "165K users, 55K active (Aug 2015); 50 peers in ~86% of the 10M "
+        "multi-hop transactions — counts here are at the configured history "
+        "scale, shares are comparable directly.");
+    return 0;
+}

@@ -1,0 +1,42 @@
+// Fig 3 — the de-anonymization study: percentage of payments whose
+// fingerprint pins down a unique sender, across the paper's ten
+// feature/resolution configurations.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/ig_study.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace xrpl;
+    bench::print_header(
+        "Fig 3", "information gain per feature list and resolution");
+    const datagen::GeneratedHistory history = bench::generate_default_history();
+
+    const auto rows = core::run_ig_study(history.records);
+
+    util::TextTable table({"configuration", "measured IG", "paper", "", "bar"});
+    table.set_alignment({util::Align::kLeft, util::Align::kRight,
+                         util::Align::kRight, util::Align::kLeft,
+                         util::Align::kLeft});
+    for (const core::IgStudyRow& row : rows) {
+        const double ig = row.result.information_gain();
+        std::string paper = "-";
+        std::string flag;
+        if (row.paper_value) {
+            paper = util::format_percent(*row.paper_value);
+            flag = row.paper_value_exact ? "(quoted)" : "(read off figure)";
+        }
+        table.add_row({row.config.label(), util::format_percent(ig), paper, flag,
+                       std::string(static_cast<std::size_t>(ig * 50.0), '#')});
+    }
+    table.render(std::cout);
+
+    std::cout << "\npayments analyzed: "
+              << util::format_count(rows.front().result.total_payments) << "\n";
+    bench::print_paper_note(
+        "99.83% at full resolution; currency removal changes nothing; "
+        "destination removal -> 93.78%; amount removal -> 89.86%; timestamp "
+        "removal -> 48.84% (worse than a coin toss); <Al,Tdy,-,-> -> 1.28%.");
+    return 0;
+}

@@ -1,0 +1,41 @@
+// Fig 4 — Ripple's most used currencies by payment count (log scale).
+#include <iostream>
+
+#include "analytics/currency_stats.hpp"
+#include "bench/common.hpp"
+#include "datagen/spam.hpp"
+#include "util/table.hpp"
+#include "util/textplot.hpp"
+
+int main() {
+    using namespace xrpl;
+    bench::print_header("Fig 4", "most used currencies, by payment count");
+    const datagen::GeneratedHistory history = bench::generate_default_history();
+
+    const auto ranked = analytics::rank_currencies(history.currency_counts);
+    std::vector<util::Bar> bars;
+    for (const analytics::CurrencyCount& row : ranked) {
+        if (row.payments < 2) continue;  // Fig 4 cuts off around 10^2
+        bars.push_back(util::Bar{row.currency.to_string() + "  (" +
+                                     util::format_percent(row.share) + ")",
+                                 static_cast<double>(row.payments), -1.0});
+    }
+    util::BarChartOptions options;
+    options.log_scale = true;
+    options.value_header = "# payments";
+    render_bar_chart(std::cout, bars, options);
+
+    const datagen::SpamBreakdown spam =
+        datagen::spam_breakdown(history.records, history.population);
+    std::cout << "\nspam share of the stream: mtl="
+              << util::format_count(spam.mtl)
+              << "  cck=" << util::format_count(spam.cck)
+              << "  account-zero=" << util::format_count(spam.account_zero)
+              << "  ~Ripple Spin=" << util::format_count(spam.gambling) << "\n";
+
+    bench::print_paper_note(
+        "XRP first with 49% of payments; CCK and MTL (non-ISO codes, likely "
+        "DoS) second and third; BTC 4.7%, USD 3.8%, CNY 3.3%, JPY 2.1%, EUR "
+        "only 11th with 0.4%; ~45-currency tail down to ~100 payments.");
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Fig 6 — structure of payment paths: (a) payments per intermediate
+// hop count, (b) payments per parallel-path count. Both y-axes are
+// logarithmic in the paper; the bars here use a log scale too.
+#include <iostream>
+
+#include "analytics/path_stats.hpp"
+#include "bench/common.hpp"
+#include "util/table.hpp"
+#include "util/textplot.hpp"
+
+int main() {
+    using namespace xrpl;
+    bench::print_header("Fig 6", "intermediate hops and parallel paths");
+    const datagen::GeneratedHistory history = bench::generate_default_history();
+
+    const analytics::PathStats stats = analytics::make_path_stats(
+        history.hop_histogram, history.parallel_histogram);
+
+    std::cout << "multi-hop payments analyzed: "
+              << util::format_count(stats.multi_hop_total()) << " (of "
+              << util::format_count(history.records.size())
+              << " total; direct transfers excluded, as in the paper)\n\n";
+
+    std::cout << "(a) number of payment paths per intermediate hop count:\n";
+    std::vector<util::Bar> hop_bars;
+    for (const auto& [hops, count] : stats.hops.items()) {
+        hop_bars.push_back(
+            util::Bar{std::to_string(hops), static_cast<double>(count), -1.0});
+    }
+    util::BarChartOptions options;
+    options.log_scale = true;
+    options.value_header = "# paths";
+    render_bar_chart(std::cout, hop_bars, options);
+    const std::uint32_t anomaly = stats.hop_anomaly();
+    if (anomaly != 0) {
+        std::cout << "anomalous spike at " << anomaly
+                  << " intermediate hops (MTL ledger-spam campaign: "
+                     "payments intentionally forced through exactly 8 "
+                     "intermediaries)\n";
+    }
+
+    std::cout << "\n(b) number of payments per parallel-path count:\n";
+    std::vector<util::Bar> parallel_bars;
+    for (const auto& [paths, count] : stats.parallel.items()) {
+        parallel_bars.push_back(
+            util::Bar{std::to_string(paths), static_cast<double>(count), -1.0});
+    }
+    options.value_header = "# payments";
+    render_bar_chart(std::cout, parallel_bars, options);
+
+    std::cout << "\nshares: ";
+    for (std::uint32_t k = 1; k <= 6; ++k) {
+        std::cout << k << "-path "
+                  << util::format_percent(stats.parallel.share(k)) << "  ";
+    }
+    std::cout << "\n";
+
+    bench::print_paper_note(
+        "(a) majority delivered through <5 intermediate hops, decreasing — "
+        "except 3.3M MTL spam payments pinned at exactly 8 (one outlier at "
+        "44). (b) 16.3% unsplit, 10.4%/9.3%/28.9% in 2/3/4 parallel paths, "
+        "34.8% (the MTL spam) forced into exactly 6.");
+    return 0;
+}

@@ -1,0 +1,53 @@
+// Fig 7 — the 50 most influential users: (a) how often they appear as
+// intermediate hops, (b) their trust received/given, (c) their net
+// balance (aggregated in a reference currency, as the paper does in
+// EUR; we use USD values).
+#include <iostream>
+
+#include "analytics/top_users.hpp"
+#include "bench/common.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace xrpl;
+    bench::print_header("Fig 7", "the 50 most frequent intermediate hops");
+    const datagen::GeneratedHistory history = bench::generate_default_history();
+
+    const auto rate = [](ledger::Currency c) { return datagen::usd_value(c); };
+    const auto label = [&](const ledger::AccountID& id) {
+        return history.population.label_of(id);
+    };
+    const auto top = analytics::top_intermediaries(
+        history.intermediary_counts, history.ledger, 50, rate, label);
+
+    util::TextTable table({"#", "account", "GW", "times hop", "trust recv",
+                           "trust given", "balance"});
+    std::size_t rank = 1;
+    std::size_t gateways = 0;
+    for (const analytics::TopUser& user : top) {
+        if (user.is_gateway) ++gateways;
+        table.add_row({std::to_string(rank++), user.label,
+                       user.is_gateway ? "yes" : "-",
+                       util::format_count(user.times_intermediate),
+                       util::format_double(user.trust_received, 0),
+                       util::format_double(user.trust_given, 0),
+                       util::format_double(user.balance, 0)});
+    }
+    table.render(std::cout);
+
+    const double coverage =
+        analytics::coverage_of_top(history.intermediary_counts, 50);
+    std::cout << "\ntop-50 coverage of all intermediate-hop appearances: "
+              << util::format_percent(coverage) << "\n";
+    std::cout << "gateways among the top-50: " << gateways << "\n";
+
+    bench::print_paper_note(
+        "50 peers contributed to ~86% of all multi-hop transactions; only 20 "
+        "of the 50 are publicly announced gateways; the two most active "
+        "(rp2PaY..., r42Ccn... — both activated by ~akhavr) are NOT gateways "
+        "and appear almost an order of magnitude more often than the rest.");
+    bench::print_paper_note(
+        "gateways receive the trust and run negative balances (they owe); "
+        "common users declare the trust and hold positive balances.");
+    return 0;
+}

@@ -1,0 +1,278 @@
+// Engineering micro-benchmarks (google-benchmark): throughput of the
+// primitives every experiment leans on, plus ablations called out in
+// DESIGN.md §6 (decimal IouAmount vs double, indexed vs scanning
+// attack, quorum sensitivity).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "consensus/period_config.hpp"
+#include "consensus/rpca.hpp"
+#include "node/node.hpp"
+#include "paths/widest_path.hpp"
+#include "core/deanonymizer.hpp"
+#include "core/ig_study.hpp"
+#include "ledger/amount.hpp"
+#include "paths/path_finder.hpp"
+#include "paths/payment_engine.hpp"
+#include "util/base58.hpp"
+#include "util/rng.hpp"
+#include "util/sha256.hpp"
+
+namespace {
+
+using namespace xrpl;
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+    std::vector<std::uint8_t> data(1024, 0xab);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(util::sha256(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_Base58CheckEncode(benchmark::State& state) {
+    std::vector<std::uint8_t> payload(20, 0x42);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            util::base58check_encode(util::kTokenAccountId, payload));
+    }
+}
+BENCHMARK(BM_Base58CheckEncode);
+
+void BM_IouAmountAdd(benchmark::State& state) {
+    const ledger::IouAmount a = ledger::IouAmount::from_double(123.456);
+    const ledger::IouAmount b = ledger::IouAmount::from_double(0.000789);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a + b);
+    }
+}
+BENCHMARK(BM_IouAmountAdd);
+
+void BM_IouAmountRound(benchmark::State& state) {
+    const ledger::IouAmount v = ledger::IouAmount::from_double(123456.789);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(v.round_to_power_of_ten(2));
+    }
+}
+BENCHMARK(BM_IouAmountRound);
+
+// Ablation: exact decimal arithmetic vs naive double (what precision
+// costs in speed).
+void BM_Ablation_DoubleAdd(benchmark::State& state) {
+    double a = 123.456;
+    const double b = 0.000789;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a += b);
+    }
+}
+BENCHMARK(BM_Ablation_DoubleAdd);
+
+std::vector<ledger::TxRecord> make_records(std::size_t n) {
+    util::Rng rng(7);
+    std::vector<ledger::TxRecord> records;
+    records.reserve(n);
+    std::int64_t now = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        now += static_cast<std::int64_t>(rng.uniform_u64(0, 9));
+        ledger::TxRecord r;
+        r.sender = ledger::AccountID::from_seed(
+            "u" + std::to_string(rng.uniform_u64(0, 999)));
+        r.destination = ledger::AccountID::from_seed(
+            "m" + std::to_string(rng.uniform_u64(0, 99)));
+        r.currency = ledger::Currency::from_code(rng.bernoulli(0.5) ? "USD" : "BTC");
+        r.amount = ledger::IouAmount::from_double(rng.lognormal(3.0, 2.0));
+        r.time = util::RippleTime{now};
+        records.push_back(r);
+    }
+    return records;
+}
+
+void BM_Fingerprint(benchmark::State& state) {
+    const auto records = make_records(1);
+    const core::ResolutionConfig config = core::full_resolution();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::fingerprint(records[0], config));
+    }
+}
+BENCHMARK(BM_Fingerprint);
+
+void BM_InformationGain(benchmark::State& state) {
+    const auto records = make_records(static_cast<std::size_t>(state.range(0)));
+    const core::Deanonymizer deanonymizer(records);
+    const core::ResolutionConfig config = core::full_resolution();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(deanonymizer.information_gain(config));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_InformationGain)->Arg(10'000)->Arg(100'000);
+
+// Ablation: one indexed attack vs scanning the whole history.
+void BM_AttackIndexed(benchmark::State& state) {
+    const auto records = make_records(100'000);
+    const core::AttackIndex index(records, core::full_resolution());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(index.candidate_senders(records[12'345]));
+    }
+}
+BENCHMARK(BM_AttackIndexed);
+
+void BM_AttackScan(benchmark::State& state) {
+    const auto records = make_records(100'000);
+    const core::Deanonymizer deanonymizer(records);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            deanonymizer.attack(records[12'345], core::full_resolution()));
+    }
+}
+BENCHMARK(BM_AttackScan);
+
+struct PathWorld {
+    ledger::LedgerState state;
+    ledger::AccountID user, merchant;
+
+    PathWorld() {
+        util::Rng rng(11);
+        std::vector<ledger::AccountID> gateways;
+        for (int g = 0; g < 20; ++g) {
+            const auto id = ledger::AccountID::from_seed("g" + std::to_string(g));
+            state.create_account(id, ledger::XrpAmount::from_xrp(1e6), true);
+            gateways.push_back(id);
+        }
+        const ledger::Currency usd = ledger::Currency::from_code("USD");
+        for (int u = 0; u < 2'000; ++u) {
+            const auto id = ledger::AccountID::from_seed("u" + std::to_string(u));
+            state.create_account(id, ledger::XrpAmount::from_xrp(100.0));
+            for (int k = 0; k < 3; ++k) {
+                const auto& gw = gateways[rng.uniform_u64(0, gateways.size() - 1)];
+                ledger::TrustLine& line = state.set_trust(
+                    id, gw, usd, ledger::IouAmount::from_double(1e6));
+                (void)line.transfer_from(gw,
+                                         ledger::IouAmount::from_double(1'000.0));
+            }
+        }
+        user = ledger::AccountID::from_seed("u0");
+        merchant = ledger::AccountID::from_seed("u1999");
+    }
+};
+
+void BM_PathFinder(benchmark::State& state) {
+    static PathWorld world;
+    paths::TrustGraph graph(world.state);
+    paths::PathFinder finder;
+    const ledger::Currency usd = ledger::Currency::from_code("USD");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(finder.find(graph, world.user, world.merchant, usd));
+    }
+}
+BENCHMARK(BM_PathFinder);
+
+// Ablation: widest-path Dijkstra vs BFS on the same dense topology.
+void BM_PathFinder_Widest(benchmark::State& state) {
+    static PathWorld world;
+    paths::TrustGraph graph(world.state);
+    paths::WidestPathFinder finder;
+    const ledger::Currency usd = ledger::Currency::from_code("USD");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(finder.find(graph, world.user, world.merchant, usd));
+    }
+}
+BENCHMARK(BM_PathFinder_Widest);
+
+// End-to-end node throughput: submit -> consensus -> sealed -> applied.
+void BM_NodeRound(benchmark::State& state) {
+    ledger::LedgerState world;
+    const auto alice = ledger::AccountID::from_seed("bm:alice");
+    const auto bob = ledger::AccountID::from_seed("bm:bob");
+    world.create_account(alice, ledger::XrpAmount::from_xrp(1e9));
+    world.create_account(bob, ledger::XrpAmount::from_xrp(1e9));
+    std::vector<consensus::ValidatorSpec> validators;
+    for (int i = 0; i < 5; ++i) {
+        consensus::ValidatorSpec v;
+        v.label = "v" + std::to_string(i);
+        v.behavior = consensus::ValidatorBehavior::kCore;
+        v.availability = 1.0;
+        v.on_unl = true;
+        validators.push_back(v);
+    }
+    node::NodeConfig config;
+    config.consensus.seed = 1;
+    config.max_txs_per_page = 20;
+    node::Node node(world, validators, config);
+
+    std::uint32_t sequence = 1;
+    std::int64_t txs = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (int i = 0; i < 20; ++i) {
+            ledger::Transaction tx;
+            tx.type = ledger::TxType::kPayment;
+            tx.sender = alice;
+            tx.sequence = sequence++;
+            tx.destination = bob;
+            tx.amount = ledger::Amount::xrp(1.0);
+            tx.source_currency = ledger::Currency::xrp();
+            node.submit(tx);
+        }
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(node.run_round());
+        txs += 20;
+    }
+    state.SetItemsProcessed(txs);
+}
+BENCHMARK(BM_NodeRound);
+
+void BM_ConsensusRound(benchmark::State& state) {
+    const consensus::PeriodSpec period = consensus::december_2015();
+    for (auto _ : state) {
+        state.PauseTiming();
+        consensus::ConsensusConfig config;
+        config.rounds = 1'000;
+        config.seed = 3;
+        consensus::ConsensusSimulation sim(period.validators, config);
+        consensus::ValidationStream stream;
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(sim.run(stream));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1'000);
+}
+BENCHMARK(BM_ConsensusRound)->Unit(benchmark::kMillisecond);
+
+// Ablation: the pre-2015 50% quorum closes rounds a weakened UNL
+// cannot close at 80% (robustness/fork-risk trade-off the paper's
+// references [7,8] drove).
+void BM_Ablation_Quorum(benchmark::State& state) {
+    const double quorum = static_cast<double>(state.range(0)) / 100.0;
+    std::uint64_t closed = 0;
+    std::uint64_t rounds = 0;
+    for (auto _ : state) {
+        consensus::ConsensusConfig config;
+        config.rounds = 2'000;
+        config.seed = 5;
+        config.quorum = quorum;
+        std::vector<consensus::ValidatorSpec> validators;
+        for (int i = 0; i < 5; ++i) {
+            consensus::ValidatorSpec v;
+            v.label = "v" + std::to_string(i);
+            v.behavior = consensus::ValidatorBehavior::kCore;
+            v.availability = 0.7;  // a struggling UNL
+            v.on_unl = true;
+            validators.push_back(v);
+        }
+        consensus::ConsensusSimulation sim(validators, config);
+        consensus::ValidationStream stream;
+        const consensus::ConsensusStats stats = sim.run(stream);
+        closed += stats.main_pages_closed;
+        rounds += stats.rounds;
+    }
+    state.counters["close_rate"] =
+        rounds == 0 ? 0.0 : static_cast<double>(closed) / static_cast<double>(rounds);
+}
+BENCHMARK(BM_Ablation_Quorum)->Arg(50)->Arg(80)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+#include "analytics/currency_stats.hpp"
+
+#include <algorithm>
+
+namespace xrpl::analytics {
+
+std::vector<CurrencyCount> rank_currencies(
+    const std::unordered_map<ledger::Currency, std::uint64_t>& counts) {
+    std::uint64_t total = 0;
+    for (const auto& [currency, payments] : counts) total += payments;
+
+    std::vector<CurrencyCount> out;
+    out.reserve(counts.size());
+    for (const auto& [currency, payments] : counts) {
+        CurrencyCount row;
+        row.currency = currency;
+        row.payments = payments;
+        row.share = total == 0 ? 0.0
+                               : static_cast<double>(payments) /
+                                     static_cast<double>(total);
+        out.push_back(row);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CurrencyCount& a, const CurrencyCount& b) {
+                  if (a.payments != b.payments) return a.payments > b.payments;
+                  return a.currency < b.currency;
+              });
+    return out;
+}
+
+}  // namespace xrpl::analytics

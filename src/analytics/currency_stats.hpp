@@ -1,0 +1,22 @@
+// Per-currency payment statistics (Fig 4).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ledger/types.hpp"
+
+namespace xrpl::analytics {
+
+struct CurrencyCount {
+    ledger::Currency currency;
+    std::uint64_t payments = 0;
+    double share = 0.0;  // of all payments
+};
+
+/// Rank currencies by payment count, descending (Fig 4's x-axis order).
+[[nodiscard]] std::vector<CurrencyCount> rank_currencies(
+    const std::unordered_map<ledger::Currency, std::uint64_t>& counts);
+
+}  // namespace xrpl::analytics

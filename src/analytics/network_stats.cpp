@@ -1,0 +1,56 @@
+#include "analytics/network_stats.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xrpl::analytics {
+
+NetworkStats compute_network_stats(const ledger::LedgerState& ledger,
+                                   std::span<const ledger::TxRecord> records) {
+    NetworkStats stats;
+    stats.accounts = ledger.account_count();
+    stats.trust_lines = ledger.trustline_count();
+    stats.live_offers = ledger.offer_count();
+
+    std::unordered_set<ledger::AccountID> senders;
+    std::unordered_set<ledger::AccountID> participants;
+    for (const ledger::TxRecord& record : records) {
+        senders.insert(record.sender);
+        participants.insert(record.sender);
+        participants.insert(record.destination);
+    }
+    stats.active_senders = senders.size();
+    stats.active_participants = participants.size();
+
+    std::uint64_t degree_total = 0;
+    for (std::uint32_t i = 0; i < ledger.account_count(); ++i) {
+        const ledger::AccountID& id = ledger.account_by_index(i);
+        const auto degree =
+            static_cast<std::uint32_t>(ledger.lines_of(id).size());
+        ++stats.degree_histogram[degree];
+        degree_total += degree;
+        stats.max_degree = std::max(stats.max_degree, degree);
+    }
+    stats.mean_degree = stats.accounts == 0
+                            ? 0.0
+                            : static_cast<double>(degree_total) /
+                                  static_cast<double>(stats.accounts);
+    return stats;
+}
+
+double gini(std::vector<double> weights) {
+    std::erase_if(weights, [](double w) { return w < 0.0; });
+    if (weights.size() < 2) return 0.0;
+    std::sort(weights.begin(), weights.end());
+    double cumulative = 0.0;
+    double weighted_rank_sum = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        cumulative += weights[i];
+        weighted_rank_sum += static_cast<double>(i + 1) * weights[i];
+    }
+    if (cumulative <= 0.0) return 0.0;
+    const auto n = static_cast<double>(weights.size());
+    return (2.0 * weighted_rank_sum) / (n * cumulative) - (n + 1.0) / n;
+}
+
+}  // namespace xrpl::analytics

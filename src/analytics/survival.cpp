@@ -1,0 +1,43 @@
+#include "analytics/survival.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xrpl::analytics {
+
+SurvivalFunction::SurvivalFunction(std::span<const float> samples)
+    : sorted_(samples.begin(), samples.end()) {
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double SurvivalFunction::survival(double value) const noexcept {
+    if (sorted_.empty()) return 0.0;
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(),
+                                     static_cast<float>(value));
+    const auto above = static_cast<std::size_t>(sorted_.end() - it);
+    return static_cast<double>(above) / static_cast<double>(sorted_.size());
+}
+
+double SurvivalFunction::median() const noexcept { return quantile(0.5); }
+
+double SurvivalFunction::quantile(double q) const noexcept {
+    if (sorted_.empty()) return 0.0;
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    const auto index = static_cast<std::size_t>(
+        clamped * static_cast<double>(sorted_.size() - 1));
+    return sorted_[index];
+}
+
+std::vector<SurvivalFunction::Point> SurvivalFunction::curve(
+    double log10_min, double log10_max, int per_decade) const {
+    std::vector<Point> points;
+    if (per_decade <= 0 || log10_max < log10_min) return points;
+    const double step = 1.0 / per_decade;
+    for (double e = log10_min; e <= log10_max + 1e-9; e += step) {
+        const double amount = std::pow(10.0, e);
+        points.push_back(Point{amount, survival(amount)});
+    }
+    return points;
+}
+
+}  // namespace xrpl::analytics

@@ -1,0 +1,44 @@
+// Survival functions (Fig 5).
+//
+// "The survival function for a given currency is defined as the
+// percentage of payments in that currency exchanging an amount larger
+// than a certain value." Evaluated on a log-spaced grid spanning the
+// paper's 1e-4 .. 1e12 x-axis.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace xrpl::analytics {
+
+class SurvivalFunction {
+public:
+    /// Builds from raw samples (copied and sorted once).
+    explicit SurvivalFunction(std::span<const float> samples);
+
+    /// P(X > value).
+    [[nodiscard]] double survival(double value) const noexcept;
+
+    [[nodiscard]] std::size_t sample_count() const noexcept {
+        return sorted_.size();
+    }
+
+    /// Median (0 for empty).
+    [[nodiscard]] double median() const noexcept;
+    /// Arbitrary quantile q in [0,1].
+    [[nodiscard]] double quantile(double q) const noexcept;
+
+    struct Point {
+        double amount = 0.0;
+        double survival = 0.0;
+    };
+    /// Evaluate on a log grid from 10^log10_min to 10^log10_max with
+    /// `per_decade` points per decade.
+    [[nodiscard]] std::vector<Point> curve(double log10_min, double log10_max,
+                                           int per_decade = 1) const;
+
+private:
+    std::vector<float> sorted_;
+};
+
+}  // namespace xrpl::analytics

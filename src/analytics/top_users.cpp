@@ -1,0 +1,63 @@
+#include "analytics/top_users.hpp"
+
+#include <algorithm>
+
+namespace xrpl::analytics {
+
+namespace {
+
+std::vector<std::pair<ledger::AccountID, std::uint64_t>> ranked(
+    const std::unordered_map<ledger::AccountID, std::uint64_t>& counts) {
+    std::vector<std::pair<ledger::AccountID, std::uint64_t>> entries(
+        counts.begin(), counts.end());
+    std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;
+    });
+    return entries;
+}
+
+}  // namespace
+
+std::vector<TopUser> top_intermediaries(
+    const std::unordered_map<ledger::AccountID, std::uint64_t>& intermediary_counts,
+    const ledger::LedgerState& ledger, std::size_t k,
+    const std::function<double(ledger::Currency)>& rate_to_reference,
+    const std::function<std::string(const ledger::AccountID&)>& label_of) {
+    const auto entries = ranked(intermediary_counts);
+
+    std::vector<TopUser> out;
+    out.reserve(std::min(k, entries.size()));
+    for (std::size_t i = 0; i < entries.size() && i < k; ++i) {
+        TopUser user;
+        user.account = entries[i].first;
+        user.times_intermediate = entries[i].second;
+        user.label = label_of(user.account);
+        if (const ledger::AccountRoot* root = ledger.account(user.account)) {
+            user.is_gateway = root->is_gateway;
+        }
+        const ledger::LedgerState::TrustSummary trust =
+            ledger.trust_summary(user.account, rate_to_reference);
+        user.trust_received = trust.received;
+        user.trust_given = trust.given;
+        user.balance = ledger.net_iou_balance(user.account, rate_to_reference);
+        out.push_back(std::move(user));
+    }
+    return out;
+}
+
+double coverage_of_top(
+    const std::unordered_map<ledger::AccountID, std::uint64_t>& intermediary_counts,
+    std::size_t k) {
+    const auto entries = ranked(intermediary_counts);
+    std::uint64_t total = 0;
+    std::uint64_t covered = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        total += entries[i].second;
+        if (i < k) covered += entries[i].second;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(covered) / static_cast<double>(total);
+}
+
+}  // namespace xrpl::analytics

@@ -1,0 +1,46 @@
+// The influential-user analysis (Fig 7).
+//
+// Ranks accounts by how often they appear as intermediate hops in
+// payment paths, then attaches the two discriminating signals the
+// paper studies: total trust received/given (gateways receive lots,
+// declare little) and net IOU balance in a reference currency
+// (gateways are in debt, common hub users in credit).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ledger/ledger.hpp"
+
+namespace xrpl::analytics {
+
+struct TopUser {
+    ledger::AccountID account;
+    std::string label;
+    bool is_gateway = false;
+    std::uint64_t times_intermediate = 0;
+    double trust_received = 0.0;  // positive trust of Fig 7(b)
+    double trust_given = 0.0;     // negative trust of Fig 7(b)
+    double balance = 0.0;         // Fig 7(c), reference currency
+};
+
+/// Top `k` intermediaries with their trust and balance profile.
+/// `rate_to_reference` converts one unit of a currency to the
+/// reference (the paper aggregates in EUR); `label_of` supplies
+/// display names.
+[[nodiscard]] std::vector<TopUser> top_intermediaries(
+    const std::unordered_map<ledger::AccountID, std::uint64_t>& intermediary_counts,
+    const ledger::LedgerState& ledger, std::size_t k,
+    const std::function<double(ledger::Currency)>& rate_to_reference,
+    const std::function<std::string(const ledger::AccountID&)>& label_of);
+
+/// Share of all intermediate-hop appearances covered by the top `k`
+/// accounts (the paper: 50 peers cover ~86% of multi-hop traffic).
+[[nodiscard]] double coverage_of_top(
+    const std::unordered_map<ledger::AccountID, std::uint64_t>& intermediary_counts,
+    std::size_t k);
+
+}  // namespace xrpl::analytics

@@ -1,0 +1,91 @@
+#include "consensus/monitor.hpp"
+
+#include <algorithm>
+
+namespace xrpl::consensus {
+
+ValidationMonitor::ValidationMonitor(const std::vector<Validator>& validators,
+                                     std::uint64_t pending_window_rounds)
+    : validators_(&validators),
+      window_(pending_window_rounds),
+      counters_(validators.size()) {}
+
+void ValidationMonitor::attach(ValidationStream& stream) {
+    stream.subscribe_validations(
+        [this](const ValidationMessage& m) { on_validation(m); });
+    stream.subscribe_pages([this](const PageClosed& p) { on_page(p); });
+}
+
+void ValidationMonitor::on_validation(const ValidationMessage& message) {
+    if (message.validator_index >= counters_.size()) return;
+    prune(message.round);
+    ++counters_[message.validator_index].total;
+    auto [it, inserted] = pending_.try_emplace(message.page_hash);
+    it->second.push_back(message.validator_index);
+    if (inserted) expiry_.emplace_back(message.round, message.page_hash);
+}
+
+void ValidationMonitor::on_page(const PageClosed& event) {
+    // Only the main public ledger defines "valid" — the testnet chain
+    // is the parallel instance whose validators show zero valid pages
+    // in Fig 2(b,c).
+    if (event.chain != ChainTag::kMain) return;
+    const auto it = pending_.find(event.page_hash);
+    if (it == pending_.end()) return;
+    for (const std::uint32_t index : it->second) {
+        if (index < counters_.size()) ++counters_[index].valid;
+    }
+    pending_.erase(it);
+}
+
+void ValidationMonitor::prune(std::uint64_t current_round) {
+    last_round_ = std::max(last_round_, current_round);
+    while (!expiry_.empty() &&
+           expiry_.front().first + window_ < last_round_) {
+        pending_.erase(expiry_.front().second);
+        expiry_.pop_front();
+    }
+}
+
+std::vector<ValidatorReport> ValidationMonitor::report() const {
+    std::vector<ValidatorReport> out;
+    out.reserve(validators_->size());
+    for (const Validator& v : *validators_) {
+        ValidatorReport r;
+        r.index = v.index;
+        r.label = v.spec.label;
+        r.node_key = v.node_key;
+        r.behavior = v.spec.behavior;
+        r.total_pages = counters_[v.index].total;
+        r.valid_pages = counters_[v.index].valid;
+        out.push_back(std::move(r));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ValidatorReport& a, const ValidatorReport& b) {
+                  return a.label < b.label;
+              });
+    return out;
+}
+
+std::size_t ValidationMonitor::active_count(double fraction) const {
+    std::uint64_t core_best = 0;
+    for (const Validator& v : *validators_) {
+        if (v.spec.behavior == ValidatorBehavior::kCore) {
+            core_best = std::max(core_best, counters_[v.index].valid);
+        }
+    }
+    if (core_best == 0) return 0;
+    std::size_t active = 0;
+    const auto threshold =
+        static_cast<std::uint64_t>(fraction * static_cast<double>(core_best));
+    for (const Validator& v : *validators_) {
+        if (counters_[v.index].valid >= threshold) ++active;
+    }
+    return active;
+}
+
+std::uint64_t ValidationMonitor::pending_size() const noexcept {
+    return pending_.size();
+}
+
+}  // namespace xrpl::consensus

@@ -1,0 +1,73 @@
+// The validation monitor — the paper's measurement server.
+//
+// Subscribes to the validation stream and, like the authors' ad-hoc
+// collector, reconstructs per-validator statistics: how many pages
+// each validator signed in total, and how many of those signatures
+// match pages that actually sealed on the main public ledger ("valid
+// pages", Fig 2). Signatures are held in a small pending window until
+// the matching PageClosed event arrives; signatures whose page never
+// closes on the main chain (laggards, forks, testnet) count only
+// toward the total.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "consensus/validation_stream.hpp"
+#include "consensus/validator.hpp"
+
+namespace xrpl::consensus {
+
+/// Per-validator roll-up for one collection period (one Fig 2 bar pair).
+struct ValidatorReport {
+    std::uint32_t index = 0;
+    std::string label;
+    std::string node_key;
+    ValidatorBehavior behavior = ValidatorBehavior::kActive;
+    std::uint64_t total_pages = 0;
+    std::uint64_t valid_pages = 0;
+};
+
+class ValidationMonitor {
+public:
+    /// `validators` provides the labels; `pending_window_rounds` is how
+    /// long a signature waits for its page before being written off.
+    explicit ValidationMonitor(const std::vector<Validator>& validators,
+                               std::uint64_t pending_window_rounds = 4);
+
+    /// Wire the monitor into a stream (subscribes both event kinds).
+    void attach(ValidationStream& stream);
+
+    void on_validation(const ValidationMessage& message);
+    void on_page(const PageClosed& event);
+
+    /// Reports sorted by label, as the paper's plots are.
+    [[nodiscard]] std::vector<ValidatorReport> report() const;
+
+    /// Count of validators whose valid-page count is at least
+    /// `fraction` of the busiest core validator's — the paper's
+    /// "actively contributing" criterion.
+    [[nodiscard]] std::size_t active_count(double fraction) const;
+
+    [[nodiscard]] std::uint64_t pending_size() const noexcept;
+
+private:
+    void prune(std::uint64_t current_round);
+
+    struct Counters {
+        std::uint64_t total = 0;
+        std::uint64_t valid = 0;
+    };
+
+    const std::vector<Validator>* validators_;
+    std::uint64_t window_;
+    std::vector<Counters> counters_;
+    std::unordered_map<ledger::Hash256, std::vector<std::uint32_t>> pending_;
+    std::deque<std::pair<std::uint64_t, ledger::Hash256>> expiry_;
+    std::uint64_t last_round_ = 0;
+};
+
+}  // namespace xrpl::consensus

@@ -1,0 +1,181 @@
+#include "consensus/period_config.hpp"
+
+#include <algorithm>
+
+#include "util/ripple_time.hpp"
+
+namespace xrpl::consensus {
+
+namespace {
+
+using enum ValidatorBehavior;
+
+ValidatorSpec core(const std::string& label) {
+    ValidatorSpec v;
+    v.label = label;
+    v.behavior = kCore;
+    v.on_unl = true;
+    return v;
+}
+
+ValidatorSpec make(const std::string& label, ValidatorBehavior behavior,
+                   double availability = -1.0, bool on_unl = false) {
+    ValidatorSpec v;
+    v.label = label;
+    v.behavior = behavior;
+    v.availability = availability;
+    v.on_unl = on_unl;
+    return v;
+}
+
+void add_cores(std::vector<ValidatorSpec>& out) {
+    for (const char* label : {"R1", "R2", "R3", "R4", "R5"}) {
+        out.push_back(core(label));
+    }
+}
+
+}  // namespace
+
+PeriodSpec december_2015() {
+    PeriodSpec period;
+    period.name = "December 2015 (first half)";
+    auto& v = period.validators;
+    add_cores(v);
+
+    // The actively contributing unidentified validators. Together
+    // with R1-R5 these four persist as actives through all three
+    // periods, forming the paper's "only 9 shared active
+    // contributors" (n9KsiC barely qualifies in this period).
+    v.push_back(make("n9KDJn...Q7KhQ2", kActive, 0.96));
+    v.push_back(make("n9KDWe...aFsVox", kActive, 0.93));
+    v.push_back(make("n9L6Xc...tzbS3G", kActive, 0.90));
+    v.push_back(make("n9KsiC...nWfDbS", kActive, 0.55));
+
+    // 5 struggling to stay in sync: few pages, tiny valid fraction.
+    v.push_back(make("mycooldomain.com", kLaggard, 0.38));
+    v.push_back(make("n94a8g...endSoo", kLaggard, 0.52));
+    v.push_back(make("n94aaY...RjEhVa", kLaggard, 0.31));
+    v.push_back(make("n9JbRC...nfAF1o", kLaggard, 0.44));
+    v.push_back(make("n9K4vf...7FUDUu", kLaggard, 0.27));
+
+    // 20 validators with zero valid pages (private ledgers or hopeless
+    // latency — the paper cannot tell the two apart, neither can the
+    // stream).
+    const char* forked[] = {
+        "xagate.com",        "n9KewxVWJ4xP",     "n9KkJS...L7aGM9",
+        "n9L21J...KXMxyZ",   "n9LD3q...SdAjfC",
+        "n9LFrq...2N4tqt",   "n9LWm9...uBXfEH",  "n9LXgn...VfrY42",
+        "n9LsfY...9yuez6",   "n9M15o...2Fct7s",  "n9M3WR...C3qjsR",
+        "n9M4pt...vFuyDP",   "n9MKk7...F4SG8T",  "n9MLVG...j21tX3",
+        "n9MQeS...quKwzA",   "n9MabQ...M3BzeL",  "n9Mb8Z...aKiCnD",
+        "n9MfTP...fHrELR",   "n9Mjcq...4ZkRgp",  "n9MoY1...MjPjd4",
+    };
+    for (const char* label : forked) v.push_back(make(label, kForked));
+    return period;
+}
+
+PeriodSpec july_2016() {
+    PeriodSpec period;
+    period.name = "July 2016 (first half)";
+    auto& v = period.validators;
+    add_cores(v);
+
+    // 10 actives with a number of valid pages comparable to R1-R5;
+    // 4 carried a public domain at the time.
+    v.push_back(make("bougalis.net", kActive, 0.97));
+    v.push_back(make("bougalis.net (2)", kActive, 0.95));
+    v.push_back(make("freewallet1.net", kActive, 0.92));
+    v.push_back(make("freewallet2.net", kActive, 0.90));
+    v.push_back(make("mduo13.com", kActive, 0.88));
+    v.push_back(make("youwant.to", kActive, 0.85));
+    v.push_back(make("n9KDJn...Q7KhQ2", kActive, 0.96));
+    v.push_back(make("n9KDWe...aFsVox", kActive, 0.93));
+    v.push_back(make("n9L6Xc...tzbS3G", kActive, 0.90));
+    v.push_back(make("n9KsiC...nWfDbS", kActive, 0.87));
+
+    // Ripple's public test network: a parallel ledger instance.
+    for (int i = 1; i <= 5; ++i) {
+        v.push_back(make("testnet.ripple.com #" + std::to_string(i), kTestnet));
+    }
+
+    // The tail: observed on the stream, barely or badly contributing.
+    v.push_back(make("rippled.media.mit.edu", kLaggard, 0.33));
+    v.push_back(make("rippled.mr.exchange", kLaggard, 0.26));
+    v.push_back(make("n9JYcW...ztYoFP", kLaggard, 0.40));
+    v.push_back(make("n9KwAL...YgCEag", kLaggard, 0.22));
+    v.push_back(make("n9LiYQ...AHKqhh", kIdler));
+    v.push_back(make("n9LxcZ...BniGHJ", kIdler));
+    v.push_back(make("n9Lxmk...TgbQ3E", kForked));
+    v.push_back(make("n9MGPp...eLsX2X", kForked));
+    v.push_back(make("n9MHcZ...kdi37U", kForked));
+    v.push_back(make("n9ML3u...ZW3J3M", kForked));
+    v.push_back(make("n9MabQ...M3BzeL", kForked));
+    v.push_back(make("n9Mb8Z...aKiCnD", kForked));
+    v.push_back(make("n9Mi2w...eG1ABs", kIdler));
+    return period;
+}
+
+PeriodSpec november_2016() {
+    PeriodSpec period;
+    period.name = "November 2016 (first half)";
+    auto& v = period.validators;
+    add_cores(v);
+
+    // Only 8 of the 34 non-Ripple-Labs validators remain comparable to
+    // R1-R5.
+    v.push_back(make("awsstatic.com/fin-serv", kActive, 0.93));
+    v.push_back(make("duke67.com", kActive, 0.89));
+    v.push_back(make("paleorbglow.com", kActive, 0.86));
+    v.push_back(make("n9KDJn...Q7KhQ2", kActive, 0.96));
+    v.push_back(make("n9KDWe...aFsVox", kActive, 0.93));
+    v.push_back(make("n9L6Xc...tzbS3G", kActive, 0.90));
+    v.push_back(make("n9KsiC...nWfDbS", kActive, 0.87));
+    v.push_back(make("n9KwAL...YgCEag", kActive, 0.84));
+
+    // July's champions collapsed: an order of magnitude fewer rounds.
+    v.push_back(make("freewallet1.net", kActive, 0.075));
+    v.push_back(make("freewallet2.net", kActive, 0.070));
+    v.push_back(make("bougalis.net", kActive, 0.058));
+
+    for (int i = 1; i <= 5; ++i) {
+        v.push_back(make("testnet.ripple.com #" + std::to_string(i), kTestnet));
+    }
+
+    v.push_back(make("rippled.media.mit.edu", kLaggard, 0.30));
+    v.push_back(make("rippled.mr.exchange", kLaggard, 0.24));
+    v.push_back(make("n94RVq...zYLazo", kLaggard, 0.35));
+    v.push_back(make("n94rRX...QSpVQM", kLaggard, 0.28));
+    v.push_back(make("n9J2fT...rK2ymG", kIdler));
+    v.push_back(make("n9Jt1u...9fpxMz", kIdler));
+    v.push_back(make("n9K6Yb...xsMTuo", kForked));
+    v.push_back(make("n9KTpi...avNAUX", kForked));
+    v.push_back(make("n9Kewx...VWJ4xP", kForked));
+    v.push_back(make("n9Kszs...tRmcav", kForked));
+    v.push_back(make("n9KvK2...pzssZL", kForked));
+    v.push_back(make("n9LiYQ...AHKqhh", kIdler));
+    v.push_back(make("n9MH5P...3Zs1ky", kForked));
+    v.push_back(make("n9MHog...SYqH9c", kForked));
+    v.push_back(make("n9MKk7...F4SG8T", kForked));
+    v.push_back(make("n9Mb8Z...aKiCnD", kForked));
+    v.push_back(make("n9MbL5...rwSuXm", kIdler));
+    v.push_back(make("n9Mm3t...nQWpg7", kIdler));
+    return period;
+}
+
+std::vector<PeriodSpec> all_periods() {
+    return {december_2015(), july_2016(), november_2016()};
+}
+
+ConsensusConfig two_week_config(double scale, std::uint64_t seed) {
+    ConsensusConfig config;
+    config.quorum = 0.80;
+    config.round_interval_seconds = 4.8;
+    // Two weeks of 4.8s rounds = 252,000 pages at scale 1.
+    const double rounds = 252'000.0 * std::clamp(scale, 0.0001, 1.0);
+    config.rounds = static_cast<std::uint64_t>(rounds);
+    config.start_time = util::from_calendar(2015, 12, 1);
+    config.seed = seed;
+    return config;
+}
+
+}  // namespace xrpl::consensus

@@ -1,0 +1,42 @@
+// The three collection periods of §IV, as validator populations.
+//
+// Labels follow Fig 2 (domains where the paper saw one, abbreviated
+// "n9..." node keys otherwise). Behaviour classes and availability
+// overrides encode what the paper measured:
+//   Dec 2015 — 5 Ripple Labs cores + 3 active independents, 5
+//     laggards "struggling to stay in sync", and 21 validators none
+//     of whose pages were valid (private forks / hopeless latency).
+//   Jul 2016 — 10 actives (bougalis.net x2, freewallet1/2.net,
+//     mduo13.com, youwant.to + 4 unidentified), 5 testnet validators
+//     near 200K pages each, and an idle/laggard tail.
+//   Nov 2016 — 8 actives; freewallet1/2.net collapse to <20K pages,
+//     one bougalis.net machine disappears and the other shows ~15K
+//     rounds; the 5 testnet validators persist.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "consensus/rpca.hpp"
+#include "consensus/validator.hpp"
+
+namespace xrpl::consensus {
+
+struct PeriodSpec {
+    std::string name;
+    std::vector<ValidatorSpec> validators;
+};
+
+[[nodiscard]] PeriodSpec december_2015();
+[[nodiscard]] PeriodSpec july_2016();
+[[nodiscard]] PeriodSpec november_2016();
+
+/// All three, in order.
+[[nodiscard]] std::vector<PeriodSpec> all_periods();
+
+/// Consensus config for a two-week capture at the given scale
+/// (scale=1.0 reproduces the full ~252K rounds; benches default to a
+/// tenth for speed — counts shrink proportionally, shape is identical).
+[[nodiscard]] ConsensusConfig two_week_config(double scale, std::uint64_t seed);
+
+}  // namespace xrpl::consensus

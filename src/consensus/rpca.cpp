@@ -1,0 +1,150 @@
+#include "consensus/rpca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/sha256.hpp"
+
+namespace xrpl::consensus {
+
+namespace {
+
+/// The testnet is a different ledger instance with its own genesis;
+/// a constant marker folded into every testnet page hash keeps the
+/// two chains disjoint even when their headers coincide.
+ledger::Hash256 testnet_tag() {
+    ledger::Hash256 tag;
+    tag.bytes[0] = 0x7e;  // 't'-ish
+    tag.bytes[1] = 0x57;
+    return tag;
+}
+
+/// A page hash that is NOT on any chain: what a stale or forked
+/// validator signs. Unique per (round, validator) so forks don't
+/// accidentally collide with real pages.
+ledger::Hash256 divergent_hash(std::uint64_t round, std::uint32_t validator_index) {
+    util::Sha256 hasher;
+    hasher.update("divergent");
+    std::array<std::uint8_t, 12> buf;
+    for (int i = 0; i < 8; ++i) {
+        buf[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(round >> (56 - 8 * i));
+    }
+    for (int i = 0; i < 4; ++i) {
+        buf[static_cast<std::size_t>(8 + i)] =
+            static_cast<std::uint8_t>(validator_index >> (24 - 8 * i));
+    }
+    hasher.update(buf);
+    const util::Sha256Digest digest = hasher.finish();
+    ledger::Hash256 h;
+    std::copy(digest.begin(), digest.end(), h.bytes.begin());
+    return h;
+}
+
+}  // namespace
+
+ConsensusSimulation::ConsensusSimulation(std::vector<ValidatorSpec> specs,
+                                         ConsensusConfig config)
+    : config_(config) {
+    validators_.reserve(specs.size());
+    std::uint32_t index = 0;
+    for (ValidatorSpec& spec : specs) {
+        Validator v;
+        v.index = index++;
+        v.node_key = derive_node_key(spec.label);
+        v.spec = std::move(spec);
+        if (v.spec.on_unl) ++unl_size_;
+        validators_.push_back(std::move(v));
+    }
+}
+
+RoundOutcome ConsensusSimulation::run_round(std::uint64_t round,
+                                            util::RippleTime close_time,
+                                            std::vector<ledger::Hash256> tx_ids,
+                                            ValidationStream& stream) {
+    if (!rng_seeded_) {
+        rng_ = util::Rng(config_.seed);
+        rng_seeded_ = true;
+    }
+    const auto quorum_votes = static_cast<std::size_t>(
+        std::ceil(config_.quorum * static_cast<double>(unl_size_)));
+
+    // Candidate pages this round. Their hashes depend on the entire
+    // history below them, via the parent-hash chain.
+    const ledger::Hash256 main_parent =
+        main_chain_.empty() ? ledger::Hash256{} : main_chain_.last().hash;
+    const ledger::Hash256 main_candidate = ledger::compute_page_hash(
+        static_cast<std::uint32_t>(main_chain_.size() + 1), main_parent,
+        close_time, tx_ids);
+    const ledger::Hash256 testnet_parent =
+        testnet_chain_.empty() ? ledger::Hash256{} : testnet_chain_.last().hash;
+    const ledger::Hash256 testnet_candidate = ledger::compute_page_hash(
+        static_cast<std::uint32_t>(testnet_chain_.size() + 1), testnet_parent,
+        close_time, {testnet_tag()});
+
+    std::size_t unl_candidate_votes = 0;
+    std::size_t testnet_votes = 0;
+    std::size_t testnet_population = 0;
+
+    for (const Validator& v : validators_) {
+        if (v.is_testnet()) ++testnet_population;
+        if (!rng_.bernoulli(v.availability())) continue;
+
+        ledger::Hash256 signed_hash;
+        bool votes_main_candidate = false;
+        if (v.is_testnet()) {
+            signed_hash = testnet_candidate;
+            ++testnet_votes;
+        } else if (v.spec.behavior == ValidatorBehavior::kForked) {
+            signed_hash = divergent_hash(round, v.index);
+        } else if (rng_.bernoulli(v.sync_probability())) {
+            signed_hash = main_candidate;
+            votes_main_candidate = true;
+        } else {
+            signed_hash = divergent_hash(round, v.index);
+        }
+
+        if (votes_main_candidate && v.spec.on_unl) ++unl_candidate_votes;
+        stream.publish(ValidationMessage{round, v.index, signed_hash});
+    }
+
+    RoundOutcome outcome;
+    ++cumulative_.rounds;
+
+    // Main chain quorum check.
+    if (unl_candidate_votes >= quorum_votes && unl_size_ > 0) {
+        main_chain_.append(close_time, std::move(tx_ids));
+        ++cumulative_.main_pages_closed;
+        outcome.main_closed = true;
+        outcome.main_page = main_candidate;
+        stream.publish(PageClosed{round, ChainTag::kMain, main_candidate});
+    } else {
+        ++cumulative_.main_rounds_failed;
+    }
+
+    // Testnet: same 80% rule among testnet validators.
+    if (testnet_population > 0) {
+        const auto testnet_quorum = static_cast<std::size_t>(
+            std::ceil(config_.quorum * static_cast<double>(testnet_population)));
+        if (testnet_votes >= testnet_quorum) {
+            testnet_chain_.append(close_time, {testnet_tag()});
+            ++cumulative_.testnet_pages_closed;
+            outcome.testnet_closed = true;
+            stream.publish(PageClosed{round, ChainTag::kTestnet, testnet_candidate});
+        }
+    }
+    return outcome;
+}
+
+ConsensusStats ConsensusSimulation::run(ValidationStream& stream) {
+    double clock = 0.0;
+    for (std::uint64_t round = 1; round <= config_.rounds; ++round) {
+        clock += config_.round_interval_seconds;
+        const util::RippleTime close_time{
+            config_.start_time.seconds + static_cast<std::int64_t>(clock)};
+        (void)run_round(round, close_time, {}, stream);
+    }
+    return cumulative_;
+}
+
+}  // namespace xrpl::consensus

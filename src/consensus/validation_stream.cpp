@@ -1,0 +1,4 @@
+#include "consensus/validation_stream.hpp"
+
+// Header-only (inline pub/sub); the translation unit keeps the build
+// inventory aligned with DESIGN.md.

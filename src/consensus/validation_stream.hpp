@@ -1,0 +1,72 @@
+// The validation stream — the event feed the paper's collection
+// server subscribed to ("we set up a Ripple server that made use of
+// the Ripple's validation stream to capture and store" §IV).
+//
+// Publishers emit one ValidationMessage per validator signature plus
+// a PageClosed event whenever a round seals a page on some chain.
+// Subscribers (the monitor, the example's live printer) receive
+// events in publication order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ledger/types.hpp"
+
+namespace xrpl::consensus {
+
+/// Which chain an event belongs to.
+enum class ChainTag : std::uint8_t { kMain, kTestnet, kPrivateFork };
+
+/// One signed validation as seen on the stream.
+struct ValidationMessage {
+    std::uint64_t round = 0;
+    std::uint32_t validator_index = 0;
+    ledger::Hash256 page_hash;
+};
+
+/// A page reaching quorum on a chain.
+struct PageClosed {
+    std::uint64_t round = 0;
+    ChainTag chain = ChainTag::kMain;
+    ledger::Hash256 page_hash;
+};
+
+/// Synchronous pub/sub stream.
+class ValidationStream {
+public:
+    using ValidationHandler = std::function<void(const ValidationMessage&)>;
+    using PageClosedHandler = std::function<void(const PageClosed&)>;
+
+    void subscribe_validations(ValidationHandler handler) {
+        validation_handlers_.push_back(std::move(handler));
+    }
+    void subscribe_pages(PageClosedHandler handler) {
+        page_handlers_.push_back(std::move(handler));
+    }
+
+    void publish(const ValidationMessage& message) {
+        ++validations_published_;
+        for (const auto& handler : validation_handlers_) handler(message);
+    }
+    void publish(const PageClosed& event) {
+        ++pages_published_;
+        for (const auto& handler : page_handlers_) handler(event);
+    }
+
+    [[nodiscard]] std::uint64_t validations_published() const noexcept {
+        return validations_published_;
+    }
+    [[nodiscard]] std::uint64_t pages_published() const noexcept {
+        return pages_published_;
+    }
+
+private:
+    std::vector<ValidationHandler> validation_handlers_;
+    std::vector<PageClosedHandler> page_handlers_;
+    std::uint64_t validations_published_ = 0;
+    std::uint64_t pages_published_ = 0;
+};
+
+}  // namespace xrpl::consensus

@@ -1,0 +1,56 @@
+#include "consensus/validator.hpp"
+
+#include <vector>
+
+#include "util/base58.hpp"
+#include "util/sha256.hpp"
+
+namespace xrpl::consensus {
+
+double default_availability(ValidatorBehavior b) noexcept {
+    switch (b) {
+        case ValidatorBehavior::kCore: return 0.995;
+        case ValidatorBehavior::kActive: return 0.94;
+        case ValidatorBehavior::kLaggard: return 0.45;
+        case ValidatorBehavior::kForked: return 0.80;
+        case ValidatorBehavior::kTestnet: return 0.97;
+        case ValidatorBehavior::kIdler: return 0.02;
+    }
+    return 0.0;
+}
+
+double default_sync_probability(ValidatorBehavior b) noexcept {
+    switch (b) {
+        case ValidatorBehavior::kCore: return 1.0;
+        case ValidatorBehavior::kActive: return 0.995;
+        case ValidatorBehavior::kLaggard: return 0.12;
+        case ValidatorBehavior::kForked: return 0.0;
+        case ValidatorBehavior::kTestnet: return 0.0;
+        case ValidatorBehavior::kIdler: return 0.9;
+    }
+    return 0.0;
+}
+
+std::string derive_node_key(const std::string& label) {
+    const util::Sha256Digest digest = util::sha256("validator-node-key:" + label);
+    // Node public keys are 33 bytes on the real network (compressed
+    // secp256k1 points); pad the digest to that length so the
+    // base58check form carries the familiar leading 'n'.
+    std::vector<std::uint8_t> payload(digest.begin(), digest.end());
+    payload.push_back(0x02);
+    return util::base58check_encode(util::kTokenNodePublic, payload);
+}
+
+const char* behavior_name(ValidatorBehavior b) noexcept {
+    switch (b) {
+        case ValidatorBehavior::kCore: return "core";
+        case ValidatorBehavior::kActive: return "active";
+        case ValidatorBehavior::kLaggard: return "laggard";
+        case ValidatorBehavior::kForked: return "forked";
+        case ValidatorBehavior::kTestnet: return "testnet";
+        case ValidatorBehavior::kIdler: return "idler";
+    }
+    return "?";
+}
+
+}  // namespace xrpl::consensus

@@ -1,0 +1,85 @@
+// Validator identities and behaviour profiles.
+//
+// Fig 2 of the paper classifies the validators it observed into
+// recognizable behaviour classes; the simulator reproduces those
+// classes directly:
+//   kCore     - Ripple Labs' R1..R5: always on, always in sync.
+//   kActive   - independent, highly available, in sync.
+//   kLaggard  - "struggling to stay in sync ... due to limited
+//               hardware or network performance": participates, but
+//               its signed pages mostly miss the main chain.
+//   kForked   - "contributing to a different, private Ripple ledger":
+//               signs plenty of pages, none of them valid.
+//   kTestnet  - validates testnet.ripple.com's parallel chain: ~full
+//               participation there, zero pages on the main ledger.
+//   kIdler    - seen in the stream but hardly ever participates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ledger/types.hpp"
+
+namespace xrpl::consensus {
+
+enum class ValidatorBehavior : std::uint8_t {
+    kCore,
+    kActive,
+    kLaggard,
+    kForked,
+    kTestnet,
+    kIdler,
+};
+
+/// Static description of one validator in a simulated period.
+struct ValidatorSpec {
+    /// Display label: an internet domain when the operator announced
+    /// one, otherwise the abbreviated node public key (the paper's
+    /// "n94a8g...endSoo" style).
+    std::string label;
+    ValidatorBehavior behavior = ValidatorBehavior::kActive;
+    /// Probability of emitting a validation in any given round.
+    /// Negative means "use the behaviour default".
+    double availability = -1.0;
+    /// Probability that an emitted validation matches the main-chain
+    /// candidate (only meaningful for laggards; cores/actives are 1,
+    /// forked/testnet are 0). Negative = behaviour default.
+    double sync_probability = -1.0;
+    /// Whether mainnet consensus counts this validator's vote towards
+    /// the 80% quorum (the curated UNL).
+    bool on_unl = false;
+};
+
+/// Behaviour-derived defaults.
+[[nodiscard]] double default_availability(ValidatorBehavior b) noexcept;
+[[nodiscard]] double default_sync_probability(ValidatorBehavior b) noexcept;
+
+/// A registered validator with its derived node key.
+struct Validator {
+    std::uint32_t index = 0;
+    ValidatorSpec spec;
+    /// Node public key id, derived deterministically from the label;
+    /// rendered base58check with the node-public prefix ("n...").
+    std::string node_key;
+
+    [[nodiscard]] double availability() const noexcept {
+        return spec.availability >= 0.0 ? spec.availability
+                                        : default_availability(spec.behavior);
+    }
+    [[nodiscard]] double sync_probability() const noexcept {
+        return spec.sync_probability >= 0.0
+                   ? spec.sync_probability
+                   : default_sync_probability(spec.behavior);
+    }
+    [[nodiscard]] bool is_testnet() const noexcept {
+        return spec.behavior == ValidatorBehavior::kTestnet;
+    }
+};
+
+/// Derive the "n..." node key string for a label (deterministic).
+[[nodiscard]] std::string derive_node_key(const std::string& label);
+
+/// Human-readable behaviour name (for reports).
+[[nodiscard]] const char* behavior_name(ValidatorBehavior b) noexcept;
+
+}  // namespace xrpl::consensus

@@ -1,0 +1,69 @@
+#include "core/anonymity.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/fingerprint.hpp"
+
+namespace xrpl::core {
+
+void AnonymityProfile::add(std::uint32_t set_size, std::uint64_t payments) {
+    histogram_[set_size] += payments;
+    total_ += payments;
+}
+
+double AnonymityProfile::identifiable_within(std::uint32_t k) const noexcept {
+    if (total_ == 0) return 0.0;
+    std::uint64_t covered = 0;
+    for (const auto& [size, payments] : histogram_) {
+        if (size > k) break;
+        covered += payments;
+    }
+    return static_cast<double>(covered) / static_cast<double>(total_);
+}
+
+double AnonymityProfile::mean_set_size() const noexcept {
+    if (total_ == 0) return 0.0;
+    double weighted = 0.0;
+    for (const auto& [size, payments] : histogram_) {
+        weighted += static_cast<double>(size) * static_cast<double>(payments);
+    }
+    return weighted / static_cast<double>(total_);
+}
+
+std::uint32_t AnonymityProfile::set_size_quantile(double fraction) const noexcept {
+    if (total_ == 0) return 0;
+    const auto threshold = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(total_));
+    std::uint64_t covered = 0;
+    for (const auto& [size, payments] : histogram_) {
+        covered += payments;
+        if (covered >= threshold) return size;
+    }
+    return histogram_.empty() ? 0 : histogram_.rbegin()->first;
+}
+
+AnonymityProfile analyze_anonymity(std::span<const ledger::TxRecord> records,
+                                   const ResolutionConfig& config) {
+    // fingerprint -> (payment count, distinct senders).
+    struct Bucket {
+        std::uint64_t payments = 0;
+        std::unordered_set<ledger::AccountID> senders;
+    };
+    std::unordered_map<std::uint64_t, Bucket> buckets;
+    buckets.reserve(records.size());
+    for (const ledger::TxRecord& record : records) {
+        Bucket& bucket = buckets[fingerprint(record, config)];
+        ++bucket.payments;
+        bucket.senders.insert(record.sender);
+    }
+
+    AnonymityProfile profile;
+    for (const auto& [fp, bucket] : buckets) {
+        profile.add(static_cast<std::uint32_t>(bucket.senders.size()),
+                    bucket.payments);
+    }
+    return profile;
+}
+
+}  // namespace xrpl::core

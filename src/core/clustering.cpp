@@ -1,0 +1,99 @@
+#include "core/clustering.hpp"
+
+#include <unordered_set>
+
+#include "core/fingerprint.hpp"
+
+namespace xrpl::core {
+
+ledger::AccountID AccountClusters::find(const ledger::AccountID& account) const {
+    auto it = parent_.find(account);
+    if (it == parent_.end()) return account;
+    // Path compression: point every node on the chain at the root.
+    std::vector<ledger::AccountID> chain;
+    ledger::AccountID cursor = account;
+    while (true) {
+        const auto parent_it = parent_.find(cursor);
+        if (parent_it == parent_.end() || parent_it->second == cursor) break;
+        chain.push_back(cursor);
+        cursor = parent_it->second;
+    }
+    for (const ledger::AccountID& node : chain) parent_[node] = cursor;
+    return cursor;
+}
+
+void AccountClusters::link(const ledger::AccountID& a, const ledger::AccountID& b) {
+    parent_.try_emplace(a, a);
+    parent_.try_emplace(b, b);
+    size_.try_emplace(a, 1);
+    size_.try_emplace(b, 1);
+
+    ledger::AccountID root_a = find(a);
+    ledger::AccountID root_b = find(b);
+    if (root_a == root_b) return;
+    // Union by size.
+    if (size_[root_a] < size_[root_b]) std::swap(root_a, root_b);
+    parent_[root_b] = root_a;
+    size_[root_a] += size_[root_b];
+}
+
+ledger::AccountID AccountClusters::representative(
+    const ledger::AccountID& account) const {
+    return find(account);
+}
+
+std::size_t AccountClusters::cluster_count() const {
+    std::unordered_set<ledger::AccountID> roots;
+    for (const auto& [account, parent] : parent_) roots.insert(find(account));
+    return roots.size();
+}
+
+std::vector<std::vector<ledger::AccountID>> AccountClusters::clusters(
+    std::size_t min_size) const {
+    std::unordered_map<ledger::AccountID, std::vector<ledger::AccountID>> groups;
+    for (const auto& [account, parent] : parent_) {
+        groups[find(account)].push_back(account);
+    }
+    std::vector<std::vector<ledger::AccountID>> out;
+    for (auto& [root, members] : groups) {
+        if (members.size() >= min_size) out.push_back(std::move(members));
+    }
+    return out;
+}
+
+AccountClusters cluster_by_activation(std::span<const ActivationEdge> edges) {
+    AccountClusters clusters;
+    for (const ActivationEdge& edge : edges) {
+        clusters.link(edge.funder, edge.account);
+    }
+    return clusters;
+}
+
+IgResult clustered_information_gain(std::span<const ledger::TxRecord> records,
+                                    const ResolutionConfig& config,
+                                    const AccountClusters& clusters) {
+    struct Bucket {
+        ledger::AccountID entity;
+        bool multi = false;
+    };
+    std::unordered_map<std::uint64_t, Bucket> buckets;
+    buckets.reserve(records.size());
+
+    for (const ledger::TxRecord& record : records) {
+        const std::uint64_t fp = fingerprint(record, config);
+        const ledger::AccountID entity = clusters.representative(record.sender);
+        auto [it, inserted] = buckets.try_emplace(fp, Bucket{entity, false});
+        if (!inserted && !(it->second.entity == entity)) it->second.multi = true;
+    }
+
+    IgResult result;
+    result.total_payments = records.size();
+    for (const ledger::TxRecord& record : records) {
+        if (!buckets.at(fingerprint(record, config)).multi) {
+            ++result.uniquely_identified;
+        }
+    }
+    return result;
+}
+
+}  // namespace xrpl::core

@@ -1,0 +1,87 @@
+#include "core/deanonymizer.hpp"
+
+#include <algorithm>
+
+namespace xrpl::core {
+
+namespace {
+const std::vector<std::uint32_t> kNoMatches;
+}  // namespace
+
+IgResult Deanonymizer::information_gain(const ResolutionConfig& config) const {
+    // fingerprint -> (first sender seen, is-multi-sender flag)
+    struct Bucket {
+        ledger::AccountID sender;
+        bool multi = false;
+    };
+    std::unordered_map<std::uint64_t, Bucket> buckets;
+    buckets.reserve(records_.size());
+
+    for (const ledger::TxRecord& record : records_) {
+        const std::uint64_t fp = fingerprint(record, config);
+        auto [it, inserted] = buckets.try_emplace(fp, Bucket{record.sender, false});
+        if (!inserted && !(it->second.sender == record.sender)) {
+            it->second.multi = true;
+        }
+    }
+
+    IgResult result;
+    result.total_payments = records_.size();
+    for (const ledger::TxRecord& record : records_) {
+        const std::uint64_t fp = fingerprint(record, config);
+        if (!buckets.at(fp).multi) ++result.uniquely_identified;
+    }
+    return result;
+}
+
+std::vector<ledger::AccountID> Deanonymizer::attack(
+    const ledger::TxRecord& observation, const ResolutionConfig& config) const {
+    const std::uint64_t fp = fingerprint(observation, config);
+    std::vector<ledger::AccountID> senders;
+    for (const ledger::TxRecord& record : records_) {
+        if (fingerprint(record, config) != fp) continue;
+        if (std::find(senders.begin(), senders.end(), record.sender) ==
+            senders.end()) {
+            senders.push_back(record.sender);
+        }
+    }
+    return senders;
+}
+
+std::vector<ledger::TxRecord> Deanonymizer::history_of(
+    const ledger::AccountID& account) const {
+    std::vector<ledger::TxRecord> history;
+    for (const ledger::TxRecord& record : records_) {
+        if (record.sender == account) history.push_back(record);
+    }
+    return history;
+}
+
+AttackIndex::AttackIndex(std::span<const ledger::TxRecord> records,
+                         ResolutionConfig config)
+    : records_(records), config_(config) {
+    index_.reserve(records.size());
+    for (std::uint32_t i = 0; i < records.size(); ++i) {
+        index_[fingerprint(records[i], config_)].push_back(i);
+    }
+}
+
+const std::vector<std::uint32_t>& AttackIndex::matches(
+    const ledger::TxRecord& observation) const {
+    const auto it = index_.find(fingerprint(observation, config_));
+    return it == index_.end() ? kNoMatches : it->second;
+}
+
+std::vector<ledger::AccountID> AttackIndex::candidate_senders(
+    const ledger::TxRecord& observation) const {
+    std::vector<ledger::AccountID> senders;
+    for (const std::uint32_t i : matches(observation)) {
+        const ledger::AccountID& sender = records_[i].sender;
+        if (std::find(senders.begin(), senders.end(), sender) == senders.end()) {
+            senders.push_back(sender);
+        }
+    }
+    return senders;
+}
+
+}  // namespace xrpl::core

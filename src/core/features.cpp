@@ -1,0 +1,23 @@
+#include "core/features.hpp"
+
+namespace xrpl::core {
+
+std::string ResolutionConfig::label() const {
+    std::string out = "<";
+    out += amount ? std::string("A") + amount_resolution_label(*amount) : "-";
+    out += "; ";
+    out += time ? std::string("T") + util::resolution_label(*time) : "-";
+    out += "; ";
+    out += use_currency ? "C" : "-";
+    out += "; ";
+    out += use_destination ? "D" : "-";
+    out += ">";
+    return out;
+}
+
+ResolutionConfig full_resolution() {
+    return ResolutionConfig{AmountResolution::kMax, util::TimeResolution::kSeconds,
+                            true, true};
+}
+
+}  // namespace xrpl::core

@@ -1,0 +1,36 @@
+// Feature tuples and resolution configurations (§V-A of the paper).
+//
+// Every payment yields the feature list ⟨A, T, C, D⟩ — amount,
+// timestamp, currency, destination — plus the sender S that the
+// attack tries to recover. A ResolutionConfig states, per feature,
+// whether the attacker knows it and how precisely: amounts round per
+// Table I, timestamps truncate to sec/min/hour/day, currency and
+// destination are all-or-nothing ("their resolution is binary").
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/resolution.hpp"
+#include "ledger/transaction.hpp"
+#include "util/ripple_time.hpp"
+
+namespace xrpl::core {
+
+/// The attacker's knowledge about one payment.
+struct ResolutionConfig {
+    /// Amount resolution; nullopt = attacker ignores the amount.
+    std::optional<AmountResolution> amount = AmountResolution::kMax;
+    /// Timestamp resolution; nullopt = ignored.
+    std::optional<util::TimeResolution> time = util::TimeResolution::kSeconds;
+    bool use_currency = true;
+    bool use_destination = true;
+
+    /// The paper's notation, e.g. "<Am; Tsc; C; D>" or "<Al; Tdy; -; ->".
+    [[nodiscard]] std::string label() const;
+};
+
+/// Convenience factories for the named configurations.
+[[nodiscard]] ResolutionConfig full_resolution();
+
+}  // namespace xrpl::core

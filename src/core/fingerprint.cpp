@@ -1,0 +1,67 @@
+#include "core/fingerprint.hpp"
+
+#include "core/resolution.hpp"
+#include "ledger/types.hpp"
+#include "util/ripple_time.hpp"
+
+namespace xrpl::core {
+
+namespace {
+
+std::uint64_t avalanche(std::uint64_t x) noexcept {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+std::uint64_t account_word(const ledger::AccountID& id) noexcept {
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        word = (word << 8) | id.bytes[i];
+    }
+    // The remaining 12 bytes, folded in.
+    std::uint64_t rest = 0;
+    for (std::size_t i = 8; i < id.bytes.size(); ++i) {
+        rest = rest * 131 + id.bytes[i];
+    }
+    return word ^ avalanche(rest);
+}
+
+}  // namespace
+
+void FingerprintHasher::mix(std::uint64_t value) noexcept {
+    state_ = avalanche(state_ ^ avalanche(value));
+}
+
+std::uint64_t fingerprint(const ledger::TxRecord& record,
+                          const ResolutionConfig& config) noexcept {
+    FingerprintHasher hasher;
+
+    if (config.amount) {
+        const ledger::IouAmount rounded =
+            round_amount(record.amount, record.currency, *config.amount);
+        hasher.mix(static_cast<std::uint64_t>(rounded.mantissa()));
+        hasher.mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(rounded.exponent())));
+    }
+    if (config.time) {
+        const util::RippleTime truncated = util::truncate(record.time, *config.time);
+        hasher.mix(static_cast<std::uint64_t>(truncated.seconds));
+    }
+    if (config.use_currency) {
+        std::uint64_t code = 0;
+        for (const char c : record.currency.code) {
+            code = (code << 8) | static_cast<unsigned char>(c);
+        }
+        hasher.mix(code | (1ULL << 62));  // tag so "no currency" differs
+    }
+    if (config.use_destination) {
+        hasher.mix(account_word(record.destination));
+    }
+    return hasher.digest();
+}
+
+}  // namespace xrpl::core

@@ -1,0 +1,33 @@
+// Transaction fingerprints.
+//
+// A fingerprint is the hash of the feature subset an attacker knows,
+// each feature coarsened to its configured resolution. Two payments
+// with equal fingerprints are indistinguishable to that attacker;
+// the sender is "uniquely identified" when every payment sharing a
+// fingerprint has the same sender (§V-B).
+#pragma once
+
+#include <cstdint>
+
+#include "core/features.hpp"
+#include "ledger/transaction.hpp"
+
+namespace xrpl::core {
+
+/// 64-bit mixing hash (xxhash-style avalanche); collision probability
+/// over a few million fingerprints is negligible (~1e-7).
+class FingerprintHasher {
+public:
+    void mix(std::uint64_t value) noexcept;
+    [[nodiscard]] std::uint64_t digest() const noexcept { return state_; }
+
+private:
+    std::uint64_t state_ = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Fingerprint of `record` under `config`. The sender field is never
+/// part of the fingerprint — it is what the attacker wants to learn.
+[[nodiscard]] std::uint64_t fingerprint(const ledger::TxRecord& record,
+                                        const ResolutionConfig& config) noexcept;
+
+}  // namespace xrpl::core

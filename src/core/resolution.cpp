@@ -1,0 +1,79 @@
+#include "core/resolution.hpp"
+
+#include <array>
+#include <string_view>
+
+namespace xrpl::core {
+
+namespace {
+
+constexpr std::array<std::string_view, 4> kPowerful = {"BTC", "XAG", "XAU", "XPT"};
+constexpr std::array<std::string_view, 6> kMedium = {"CNY", "EUR", "USD",
+                                                     "AUD", "GBP", "JPY"};
+constexpr std::array<std::string_view, 5> kWeak = {"XRP", "CCK", "STR", "KRW", "MTL"};
+
+bool in_group(ledger::Currency c, const auto& group) noexcept {
+    const std::array<char, 3>& code = c.code;
+    for (const std::string_view name : group) {
+        if (code[0] == name[0] && code[1] == name[1] && code[2] == name[2]) {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+Strength strength_of(ledger::Currency currency) noexcept {
+    if (in_group(currency, kPowerful)) return Strength::kPowerful;
+    if (in_group(currency, kWeak)) return Strength::kWeak;
+    if (in_group(currency, kMedium)) return Strength::kMedium;
+    // Unlisted currencies: the paper groups "currencies with similar
+    // market strength"; without a quote we default to Medium.
+    return Strength::kMedium;
+}
+
+int base_power(Strength strength) noexcept {
+    switch (strength) {
+        case Strength::kPowerful: return -3;
+        case Strength::kMedium: return 1;
+        case Strength::kWeak: return 5;
+    }
+    return 1;
+}
+
+const char* amount_resolution_label(AmountResolution res) noexcept {
+    switch (res) {
+        case AmountResolution::kMax: return "m";
+        case AmountResolution::kHigh: return "h";
+        case AmountResolution::kAverage: return "a";
+        case AmountResolution::kLow: return "l";
+    }
+    return "?";
+}
+
+RoundingUnit rounding_unit(ledger::Currency currency,
+                           AmountResolution resolution) noexcept {
+    const int p0 = base_power(strength_of(currency));
+    switch (resolution) {
+        case AmountResolution::kMax: return {1, p0};
+        case AmountResolution::kHigh: return {5, p0};
+        case AmountResolution::kAverage: return {1, p0 + 1};
+        case AmountResolution::kLow: return {1, p0 + 2};
+    }
+    return {1, p0};
+}
+
+ledger::IouAmount round_amount(ledger::IouAmount value, ledger::Currency currency,
+                               AmountResolution resolution) noexcept {
+    const RoundingUnit unit = rounding_unit(currency, resolution);
+    if (unit.digit == 1) {
+        return value.round_to_power_of_ten(unit.power);
+    }
+    // Nearest multiple of 5*10^p: scale by 1/5, round to 10^p, scale
+    // back. The scalings are exact in decimal (x0.2 and x5 shift the
+    // mantissa by a digit).
+    return value.scaled_by(0.2).round_to_power_of_ten(unit.power).scaled_by(5.0);
+}
+
+}  // namespace xrpl::core

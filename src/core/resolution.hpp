@@ -1,0 +1,50 @@
+// Table I: amount rounding by currency strength.
+//
+// Currencies are grouped by market strength; each group has a base
+// rounding power p0 such that the paper's resolutions are
+//   max     -> nearest 10^p0
+//   high    -> nearest 5*10^p0   (the interpolated level Fig 3 calls A_h)
+//   average -> nearest 10^(p0+1)
+//   low     -> nearest 10^(p0+2)
+//
+//   Powerful (BTC, XAG, XAU, XPT):        p0 = -3  (10^-3, 10^-2, 10^-1)
+//   Medium  (CNY, EUR, USD, AUD, GBP, JPY): p0 = 1   (10^1, 10^2, 10^3)
+//   Weak    (XRP, CCK, STR, KRW, MTL):      p0 = 5   (10^5, 10^6, 10^7)
+//
+// Currencies the table does not list are classified by their unit
+// value when known, defaulting to Medium.
+#pragma once
+
+#include "ledger/amount.hpp"
+#include "ledger/types.hpp"
+
+namespace xrpl::core {
+
+enum class Strength { kPowerful, kMedium, kWeak };
+
+/// Strength group of a currency (Table I, with a fallback rule).
+[[nodiscard]] Strength strength_of(ledger::Currency currency) noexcept;
+
+/// Base rounding power p0 of a strength group.
+[[nodiscard]] int base_power(Strength strength) noexcept;
+
+enum class AmountResolution { kMax, kHigh, kAverage, kLow };
+
+/// Short subscript used in config labels: "m", "h", "a", "l".
+[[nodiscard]] const char* amount_resolution_label(AmountResolution res) noexcept;
+
+/// Round `value` of `currency` at `resolution` per Table I.
+[[nodiscard]] ledger::IouAmount round_amount(ledger::IouAmount value,
+                                             ledger::Currency currency,
+                                             AmountResolution resolution) noexcept;
+
+/// The rounding unit as (digit, power): unit = digit * 10^power with
+/// digit 1 or 5. Exposed for tests and the Table I bench.
+struct RoundingUnit {
+    int digit = 1;  // 1 or 5
+    int power = 0;
+};
+[[nodiscard]] RoundingUnit rounding_unit(ledger::Currency currency,
+                                         AmountResolution resolution) noexcept;
+
+}  // namespace xrpl::core

@@ -1,0 +1,84 @@
+#include "datagen/config.hpp"
+
+#include <unordered_map>
+
+namespace xrpl::datagen {
+
+ledger::Currency cur(const char* code) noexcept {
+    return ledger::Currency::from_code(code);
+}
+
+const std::vector<CurrencyInfo>& organic_currency_catalog() {
+    // Order and rough magnitudes follow Fig 4 (log y-axis): BTC ~4.7%
+    // of 23M, USD 3.8%, CNY 3.3%, JPY 2.1%, ... EUR 0.4% (11th), then
+    // a long tail down to ~100 payments. Weights are relative payment
+    // counts; the workload normalizes them.
+    static const std::vector<CurrencyInfo> catalog = {
+        {cur("BTC"), 1'080'000, 600.0},
+        {cur("USD"), 870'000, 1.0},
+        {cur("CNY"), 760'000, 0.16},
+        {cur("JPY"), 480'000, 0.0095},
+        {cur("SFO"), 310'000, 0.05},
+        {cur("DVC"), 240'000, 0.0001},
+        {cur("GWD"), 180'000, 0.02},
+        {cur("EUR"), 92'000, 1.3},
+        {cur("RSC"), 71'000, 0.01},
+        {cur("ICE"), 55'000, 0.03},
+        {cur("STR"), 43'000, 0.002},
+        {cur("GKO"), 34'000, 0.05},
+        {cur("KRW"), 27'000, 0.00095},
+        {cur("TRC"), 21'000, 0.4},
+        {cur("LTC"), 17'000, 3.5},
+        {cur("CAD"), 13'500, 0.9},
+        {cur("FMM"), 10'500, 0.01},
+        {cur("MXN"), 8'300, 0.075},
+        {cur("NXT"), 6'600, 0.02},
+        {cur("XTC"), 5'200, 0.1},
+        {cur("XNF"), 4'100, 0.01},
+        {cur("BRL"), 3'300, 0.45},
+        {cur("DNX"), 2'600, 0.005},
+        {cur("WTC"), 2'100, 0.02},
+        {cur("ILS"), 1'700, 0.28},
+        {cur("DOG"), 1'350, 0.0002},
+        {cur("GBP"), 1'100, 1.6},
+        {cur("XEC"), 880, 0.01},
+        {cur("NZD"), 700, 0.8},
+        {cur("LWT"), 560, 0.05},
+        {cur("YOU"), 450, 0.01},
+        {cur("ONC"), 360, 0.02},
+        {cur("TBC"), 290, 0.1},
+        {cur("CSC"), 230, 0.005},
+        {cur("MRH"), 190, 0.01},
+        {cur("SWD"), 150, 0.15},
+        {cur("AUD"), 125, 0.9},
+        {cur("NMC"), 105, 1.2},
+        {cur("CTC"), 90, 0.02},
+        {cur("PCV"), 80, 0.01},
+        {cur("IOU"), 70, 0.01},
+        {cur("LIK"), 60, 0.005},
+        {cur("UKN"), 55, 0.01},
+        {cur("RES"), 50, 0.02},
+        {cur("JED"), 45, 0.01},
+        {cur("VTC"), 40, 0.08},
+        {cur("RJP"), 35, 0.01},
+    };
+    return catalog;
+}
+
+double usd_value(ledger::Currency currency) noexcept {
+    static const std::unordered_map<ledger::Currency, double> values = [] {
+        std::unordered_map<ledger::Currency, double> map;
+        for (const CurrencyInfo& info : organic_currency_catalog()) {
+            map.emplace(info.code, info.usd_value);
+        }
+        // The three currencies the mix handles explicitly.
+        map.emplace(cur("XRP"), 0.008);
+        map.emplace(cur("CCK"), 500.0);  // "similar to the BTC" (Fig 5)
+        map.emplace(cur("MTL"), 1e-9);   // spam token, no real value
+        return map;
+    }();
+    const auto it = values.find(currency);
+    return it == values.end() ? 1.0 : it->second;
+}
+
+}  // namespace xrpl::datagen

@@ -1,0 +1,96 @@
+// Generator configuration and the currency catalog.
+//
+// The catalog lists every currency of Fig 4, with payment-count
+// weights shaped to the figure's log-scale profile and approximate
+// 2014-era USD unit values (used for Market-Maker exchange rates,
+// Table I strength fallback, and the Fig 7 balance aggregation).
+//
+// The generator substitutes for the paper's 500 GB ledger download:
+// see DESIGN.md §2 for why the substitution preserves the study's
+// behaviour. One deliberate liberty: simulated time is COMPRESSED —
+// scaled histories keep the real per-ledger payment density (~1.44
+// payments per 4.5 s close) and the real per-day volume (~25 K), so
+// both the seconds-level fingerprint collisions and the hour/day
+// coarsening behaviour match the paper; the calendar just spans
+// fewer months.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ledger/types.hpp"
+#include "util/ripple_time.hpp"
+
+namespace xrpl::datagen {
+
+struct GeneratorConfig {
+    std::uint64_t seed = 42;
+
+    // --- population --------------------------------------------------
+    std::size_t num_users = 12'000;
+    std::size_t num_gateways = 40;
+    std::size_t num_market_makers = 120;
+    std::size_t num_merchants = 600;
+    std::size_t num_hubs = 50;  // influential non-gateway routing nodes
+
+    // --- workload -----------------------------------------------------
+    /// Total payments to generate (the paper's history has 23 M; the
+    /// default keeps every rate intact at ~1/19 scale).
+    std::uint64_t target_payments = 1'200'000;
+    /// Mean payments per ledger page (23 M / 16 M pages ≈ 1.44).
+    double payments_per_page = 1.44;
+    double page_interval_seconds = 4.5;
+    util::RippleTime start_time = util::from_calendar(2013, 1, 1);
+
+    // --- mix (fractions of base per-page payments) ----------------------
+    double xrp_organic_fraction = 0.500;
+    double ripple_spin_fraction = 0.030;   // ~700K of 23M
+    double account_zero_fraction = 0.043;  // ~1M of 23M
+    double mtl_spam_fraction = 0.143;      // ~3.3M of 23M
+    double cck_spam_fraction = 0.140;
+    double iou_retail_fraction = 0.100;
+    double cross_currency_fraction = 0.047;
+
+    /// Probability that a page carries a "burst": 2-4 near-simultaneous
+    /// payments from different senders to the same destination (bots,
+    /// flash crowds). Bursts are what makes the amount feature earn its
+    /// keep in Fig 3 — same page, same destination, only A differs.
+    double burst_probability = 0.060;
+
+    /// Share of organic XRP transfers that are whale-sized moves from
+    /// Market-Maker float (the 1e8..1e10 tail of Fig 5's global curve).
+    double xrp_whale_fraction = 0.080;
+
+    // --- offers ---------------------------------------------------------
+    /// Live offers per Market Maker (placements beyond this replace
+    /// old ones; every placement still counts toward Fig-style
+    /// concentration stats). ~90 M offers over 16 M pages real-scale.
+    std::size_t live_offers_per_maker = 30;
+    double offers_per_page = 5.6;  // 90M / 16M pages
+
+    /// Standard per-user deposit size in units of the home currency's
+    /// typical retail amount; parallel-path splitting is driven by
+    /// payments exceeding one deposit.
+    double deposit_scale = 40.0;
+};
+
+/// A catalog entry: currency, relative payment-count weight, and the
+/// approximate USD value of one unit.
+struct CurrencyInfo {
+    ledger::Currency code;
+    double weight = 0.0;
+    double usd_value = 1.0;
+};
+
+/// All Fig 4 currencies (minus XRP/CCK/MTL, which the workload mix
+/// handles explicitly), heaviest first.
+[[nodiscard]] const std::vector<CurrencyInfo>& organic_currency_catalog();
+
+/// USD value of one unit (1.0 for unknown codes).
+[[nodiscard]] double usd_value(ledger::Currency currency) noexcept;
+
+/// Convenience currency constants used across datagen and benches.
+[[nodiscard]] ledger::Currency cur(const char* code) noexcept;
+
+}  // namespace xrpl::datagen

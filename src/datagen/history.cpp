@@ -1,0 +1,204 @@
+#include "datagen/history.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+namespace xrpl::datagen {
+
+using ledger::Amount;
+using ledger::Currency;
+using paths::PaymentRequest;
+
+GeneratedHistory generate_history(const GeneratorConfig& config) {
+    GeneratedHistory history;
+    util::Rng rng(config.seed);
+
+    history.population = build_population(history.ledger, config, rng);
+    paths::PaymentEngine engine(history.ledger);
+    WorkloadGenerator workload(config, history.population, engine, rng);
+
+    history.records.reserve(config.target_payments);
+    history.first_close = config.start_time;
+
+    auto sink = [&](const WorkloadOutcome& outcome) {
+        history.records.push_back(outcome.record);
+        ++history.category_counts[static_cast<std::size_t>(outcome.category)];
+
+        ++history.currency_counts[outcome.record.currency];
+        history.amounts_by_currency[outcome.record.currency].push_back(
+            static_cast<float>(outcome.record.amount.to_double()));
+
+        const ledger::TxResult& result = outcome.result;
+        if (result.intermediate_hops >= 1) {
+            ++history.multi_hop_payments;
+            if (history.hop_histogram.size() <= result.intermediate_hops) {
+                history.hop_histogram.resize(result.intermediate_hops + 1, 0);
+            }
+            ++history.hop_histogram[result.intermediate_hops];
+            if (history.parallel_histogram.size() <= result.parallel_paths) {
+                history.parallel_histogram.resize(result.parallel_paths + 1, 0);
+            }
+            ++history.parallel_histogram[result.parallel_paths];
+            // Fig 7 counts intermediaries over real traffic; the MTL
+            // chains are the attacker's own sybil accounts, which the
+            // paper's top-50 visibly excludes (48 equal-height sybils
+            // would otherwise fill the whole plot).
+            if (outcome.category != PaymentCategory::kMtlSpam) {
+                for (const ledger::AccountID& hop : result.intermediaries) {
+                    ++history.intermediary_counts[hop];
+                }
+            }
+        }
+    };
+
+    util::RippleTime clock = config.start_time;
+    while (history.records.size() < config.target_payments) {
+        clock.seconds += static_cast<std::int64_t>(
+            config.page_interval_seconds + rng.uniform(-0.5, 1.5));
+        workload.emit_page(clock, sink);
+        ++history.pages;
+    }
+    history.last_close = clock;
+
+    history.workload_stats = workload.stats();
+    history.offer_placements = workload.offer_placements();
+    history.offers_placed_total = workload.offers_placed_total();
+    return history;
+}
+
+namespace {
+
+/// Shared candidate machinery for the replay workload builders.
+class ReplayCandidateSource {
+public:
+    ReplayCandidateSource(const Population& population, util::Rng& rng)
+        : population_(&population),
+          rng_(&rng),
+          merchant_sampler_(
+              std::max<std::size_t>(population.merchants.size(), 1), 1.0) {
+        for (std::uint32_t i = 0; i < population.merchants.size(); ++i) {
+            by_currency_[population.merchant_profiles[i].home].push_back(i);
+        }
+    }
+
+    /// One candidate of the requested kind, or nullopt if the draw was
+    /// unusable (caller just draws again).
+    std::optional<PaymentRequest> next(bool cross) {
+        const Population& population = *population_;
+        util::Rng& rng = *rng_;
+        const std::size_t user_index =
+            rng.uniform_u64(0, population.users.size() - 1);
+        const UserProfile& profile = population.user_profiles[user_index];
+        PaymentRequest request;
+        request.sender = population.users[user_index];
+
+        if (cross) {
+            const std::size_t merchant_index = merchant_sampler_.sample(rng);
+            const MerchantProfile& merchant =
+                population.merchant_profiles[merchant_index];
+            if (merchant.home == profile.home) return std::nullopt;
+            request.destination = population.merchants[merchant_index];
+            const double amount =
+                (20.0 / usd_value(merchant.home)) * rng.lognormal(0.0, 1.0);
+            request.deliver = Amount::iou(merchant.home, amount);
+            request.source_currency = profile.home;
+            return request;
+        }
+
+        const auto it = by_currency_.find(profile.home);
+        if (it == by_currency_.end() || it->second.empty()) return std::nullopt;
+        std::uint32_t merchant_index =
+            it->second[rng.uniform_u64(0, it->second.size() - 1)];
+        // The paper's Feb-Aug 2015 slice depends heavily on Market
+        // Makers even for single-currency traffic (Table II: only 36%
+        // deliver without them). Most replayed payments therefore
+        // target merchants whose gateway set is disjoint from the
+        // sender's deposits — reachable only through maker liquidity
+        // or the occasional hub bridge.
+        if (rng.bernoulli(0.70)) {
+            for (int attempt = 0; attempt < 24; ++attempt) {
+                const std::uint32_t candidate =
+                    it->second[rng.uniform_u64(0, it->second.size() - 1)];
+                const auto& gws =
+                    population.merchant_profiles[candidate].gateways;
+                bool disjoint = true;
+                for (const auto& user_gw : profile.deposit_gateways) {
+                    if (std::find(gws.begin(), gws.end(), user_gw) !=
+                        gws.end()) {
+                        disjoint = false;
+                        break;
+                    }
+                }
+                if (disjoint) {
+                    merchant_index = candidate;
+                    break;
+                }
+            }
+        }
+        request.destination = population.merchants[merchant_index];
+        request.deliver = Amount::iou(
+            profile.home, profile.typical_amount * rng.lognormal(0.0, 1.0));
+        request.source_currency = profile.home;
+        return request;
+    }
+
+private:
+    const Population* population_;
+    util::Rng* rng_;
+    util::ZipfSampler merchant_sampler_;
+    std::unordered_map<Currency, std::vector<std::uint32_t>> by_currency_;
+};
+
+}  // namespace
+
+std::vector<PaymentRequest> make_replay_workload(const Population& population,
+                                                 std::size_t count,
+                                                 double cross_fraction,
+                                                 util::Rng& rng) {
+    ReplayCandidateSource source(population, rng);
+    std::vector<PaymentRequest> requests;
+    requests.reserve(count);
+    while (requests.size() < count) {
+        auto candidate = source.next(rng.bernoulli(cross_fraction));
+        if (candidate) requests.push_back(std::move(*candidate));
+    }
+    return requests;
+}
+
+std::vector<PaymentRequest> make_delivered_replay_workload(
+    const Population& population, const ledger::LedgerState& snapshot,
+    std::size_t count, double cross_fraction, util::Rng& rng) {
+    ReplayCandidateSource source(population, rng);
+    ledger::LedgerState scratch = snapshot.clone();
+    paths::PaymentEngine engine(scratch);
+
+    const auto cross_target =
+        static_cast<std::size_t>(cross_fraction * static_cast<double>(count));
+    std::size_t cross_kept = 0;
+    std::size_t single_kept = 0;
+
+    std::vector<PaymentRequest> requests;
+    requests.reserve(count);
+    // Bounded attempts so a mis-tuned topology cannot loop forever.
+    for (std::size_t attempt = 0; attempt < count * 20; ++attempt) {
+        if (requests.size() >= count) break;
+        const bool want_cross = cross_kept < cross_target &&
+                                (single_kept >= count - cross_target ||
+                                 rng.bernoulli(cross_fraction));
+        auto candidate = source.next(want_cross);
+        if (!candidate) continue;
+        if (!engine.execute(*candidate).success) continue;
+        if (candidate->cross_currency()) {
+            if (cross_kept >= cross_target) continue;
+            ++cross_kept;
+        } else {
+            if (single_kept >= count - cross_target) continue;
+            ++single_kept;
+        }
+        requests.push_back(std::move(*candidate));
+    }
+    return requests;
+}
+
+}  // namespace xrpl::datagen

@@ -1,0 +1,366 @@
+#include "datagen/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xrpl::datagen {
+
+namespace {
+
+using ledger::AccountID;
+using ledger::Currency;
+using ledger::IouAmount;
+using ledger::LedgerState;
+using ledger::XrpAmount;
+
+constexpr double kXrpPerUser = 1e6;
+constexpr double kXrpPerMaker = 1e9;
+constexpr double kXrpPerGateway = 1e6;
+constexpr double kXrpPerHub = 1e6;
+
+XrpAmount xrp(double value) noexcept { return XrpAmount::from_xrp(value); }
+
+/// Create an account derived from a seed string and fund it from
+/// ACCOUNT_ZERO (the paper's bootstrap: "all the funds in
+/// ACCOUNT_ZERO are distributed to the other users").
+AccountID spawn(LedgerState& ledger, const std::string& seed, double xrp_funding,
+                bool is_gateway = false, bool allows_rippling = false) {
+    const AccountID id = AccountID::from_seed(seed);
+    ledger.create_account(id, XrpAmount{0}, is_gateway, allows_rippling);
+    if (xrp_funding > 0.0) {
+        const bool ok = ledger.xrp_payment(AccountID::zero(), id, xrp(xrp_funding),
+                                           XrpAmount{0});
+        (void)ok;
+    }
+    return id;
+}
+
+/// Give `holder` a deposit at `gateway`: establish the holder's trust
+/// (if absent) and move `amount` of gateway IOUs onto the line.
+void deposit(LedgerState& ledger, const AccountID& gateway, const AccountID& holder,
+             Currency currency, double amount, double trust_limit) {
+    ledger::TrustLine& line =
+        ledger.set_trust(holder, gateway, currency,
+                         IouAmount::from_double(trust_limit));
+    const bool ok = line.transfer_from(gateway, IouAmount::from_double(amount));
+    (void)ok;
+}
+
+/// A uniform random sample of k distinct indices from [0, n).
+std::vector<std::size_t> sample_indices(util::Rng& rng, std::size_t n,
+                                        std::size_t k) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    k = std::min(k, n);
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = rng.uniform_u64(i, n - 1);
+        std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+}
+
+/// The gateway names the paper identifies in Fig 7(a), in order of
+/// appearance.
+const std::vector<std::pair<std::string, std::vector<const char*>>>&
+named_gateways() {
+    static const std::vector<std::pair<std::string, std::vector<const char*>>>
+        gateways = {
+            {"SnapSwap", {"USD", "BTC", "EUR"}},
+            {"Ripple Fox", {"CNY"}},
+            {"Bitstamp", {"USD", "BTC"}},
+            {"RippleChina", {"CNY"}},
+            {"Ripple Trade Japan", {"JPY"}},
+            {"rippleCN", {"CNY"}},
+            {"Justcoin", {"BTC", "USD"}},
+            {"The Rock Trading", {"BTC", "EUR"}},
+            {"TokyoJPY", {"JPY"}},
+            {"Dividend Rippler", {"BTC", "USD"}},
+            {"Ripple Exchange Tokyo", {"JPY"}},
+            {"Digital Gate Japan", {"JPY"}},
+            {"Payroutes", {"USD"}},
+            {"Mr. Ripple", {"JPY", "BTC"}},
+            {"WisePass", {"USD"}},
+            {"Bitso", {"MXN", "BTC"}},
+            {"DotPayco", {"USD"}},
+            {"Coinex", {"NZD", "BTC"}},
+            {"Ripple LatAm", {"USD", "BRL"}},
+            {"Ripple Singapore", {"XAU", "USD"}},
+        };
+    return gateways;
+}
+
+}  // namespace
+
+Population build_population(LedgerState& ledger, const GeneratorConfig& config,
+                            util::Rng& rng) {
+    Population pop;
+
+    // --- genesis: ACCOUNT_ZERO owns every XRP ------------------------
+    pop.account_zero = AccountID::zero();
+    const double total_xrp =
+        kXrpPerUser * static_cast<double>(config.num_users) +
+        kXrpPerMaker * static_cast<double>(config.num_market_makers) +
+        kXrpPerGateway * static_cast<double>(config.num_gateways) +
+        kXrpPerHub * static_cast<double>(config.num_hubs) + 1e8;
+    ledger.create_account(pop.account_zero, xrp(total_xrp));
+    pop.labels[pop.account_zero] = "ACCOUNT_ZERO";
+
+    // --- gateways ------------------------------------------------------
+    const auto& named = named_gateways();
+    for (std::size_t i = 0; i < config.num_gateways; ++i) {
+        const bool has_name = i < named.size();
+        const std::string label =
+            has_name ? named[i].first : "gateway-" + std::to_string(i);
+        const AccountID id = spawn(ledger, "gw:" + label, kXrpPerGateway, true);
+        pop.gateways.push_back(id);
+        pop.labels[id] = label;
+        std::vector<Currency> currencies;
+        if (has_name) {
+            for (const char* code : named[i].second) {
+                currencies.push_back(cur(code));
+            }
+        }
+        pop.gateway_currencies.push_back(std::move(currencies));
+    }
+
+    // Every catalog currency needs a healthy issuer population (users
+    // and merchants pick different subsets, which is what creates
+    // multi-hop routes and the Market-Maker dependence of Table II).
+    const auto& catalog = organic_currency_catalog();
+    const std::size_t min_issuers = std::min<std::size_t>(12, config.num_gateways);
+    for (const CurrencyInfo& info : catalog) {
+        std::size_t issuers = 0;
+        for (const auto& list : pop.gateway_currencies) {
+            issuers += static_cast<std::size_t>(
+                std::count(list.begin(), list.end(), info.code));
+        }
+        while (issuers < min_issuers) {
+            const std::size_t g = static_cast<std::size_t>(
+                rng.uniform_u64(0, config.num_gateways - 1));
+            auto& list = pop.gateway_currencies[g];
+            if (std::find(list.begin(), list.end(), info.code) == list.end()) {
+                list.push_back(info.code);
+                ++issuers;
+            }
+        }
+    }
+    for (std::size_t g = 0; g < pop.gateways.size(); ++g) {
+        for (const Currency c : pop.gateway_currencies[g]) {
+            pop.issuers_by_currency[c].push_back(pop.gateways[g]);
+        }
+    }
+
+    // --- hubs: the influential non-gateway routing nodes ---------------
+    // Each hub holds deposits at a modest sample of gateways; a hub
+    // bridges a gateway pair only when its sample covers both, so
+    // trust-only connectivity between disjoint gateway sets is real
+    // but scarce (that scarcity is what Table II measures once the
+    // Market Makers are gone).
+    // Hub coverage is deliberately sparse (each hub holds positions at
+    // ~3% of gateways): a specific gateway pair is hub-bridgeable only
+    // ~15-20% of the time, so trust-only connectivity between disjoint
+    // gateway sets exists but is scarce — scarcity that Table II
+    // exposes the moment the Market Makers (with their near-total
+    // coverage) are removed.
+    for (std::size_t i = 0; i < config.num_hubs; ++i) {
+        const AccountID id =
+            spawn(ledger, "hub:" + std::to_string(i), kXrpPerHub, false, true);
+        pop.hubs.push_back(id);
+        for (std::size_t g = 0; g < pop.gateways.size(); ++g) {
+            if (!rng.bernoulli(0.03)) continue;
+            for (const Currency c : pop.gateway_currencies[g]) {
+                const double unit = usd_value(c);
+                deposit(ledger, pop.gateways[g], id, c, 1e5 / unit,
+                        1e12 / unit);
+            }
+        }
+    }
+
+    // --- Market Makers ---------------------------------------------------
+    for (std::size_t i = 0; i < config.num_market_makers; ++i) {
+        const AccountID id =
+            spawn(ledger, "mm:" + std::to_string(i), kXrpPerMaker, false, true);
+        pop.market_makers.push_back(id);
+        for (std::size_t g = 0; g < pop.gateways.size(); ++g) {
+            if (!rng.bernoulli(i < 10 ? 0.8 : 0.3)) continue;
+            for (const Currency c : pop.gateway_currencies[g]) {
+                const double unit = usd_value(c);
+                deposit(ledger, pop.gateways[g], id, c, 5e6 / unit, 1e12 / unit);
+            }
+        }
+    }
+
+    // --- merchants -------------------------------------------------------
+    // Weighted home currencies, but guarantee coverage of the whole
+    // catalog so every currency has someone to pay.
+    std::vector<double> weights;
+    weights.reserve(catalog.size());
+    for (const CurrencyInfo& info : catalog) weights.push_back(info.weight);
+    const util::CategoricalSampler currency_sampler(weights);
+
+    for (std::size_t i = 0; i < config.num_merchants; ++i) {
+        const Currency home = i < catalog.size()
+                                  ? catalog[i].code
+                                  : catalog[currency_sampler.sample(rng)].code;
+        const AccountID id =
+            spawn(ledger, "merchant:" + std::to_string(i), 100.0);
+        pop.merchants.push_back(id);
+        MerchantProfile profile;
+        profile.home = home;
+        const auto& issuers = pop.issuers_by_currency[home];
+        // Trust a random 3-5 of the home currency's issuers with
+        // generous limits (random, so user/merchant gateway sets only
+        // partially overlap and longer hub routes appear).
+        const std::size_t count =
+            std::min<std::size_t>(issuers.size(),
+                                  3 + static_cast<std::size_t>(rng.uniform_u64(0, 2)));
+        for (const std::size_t k : sample_indices(rng, issuers.size(), count)) {
+            const AccountID& gw = issuers[k];
+            ledger.set_trust(id, gw, home,
+                             IouAmount::from_double(1e13 / usd_value(home)));
+            profile.gateways.push_back(gw);
+        }
+        // A third of merchants additionally trust a couple of hubs
+        // directly (well-known liquidity providers), which is where
+        // the two-intermediate routes of Fig 6(a) come from.
+        if (!pop.hubs.empty() && rng.bernoulli(0.35)) {
+            const std::size_t hub_count =
+                1 + static_cast<std::size_t>(rng.uniform_u64(0, 1));
+            for (const std::size_t k :
+                 sample_indices(rng, pop.hubs.size(), hub_count)) {
+                const AccountID& hub = pop.hubs[k];
+                ledger.set_trust(id, hub, home,
+                                 IouAmount::from_double(1e12 / usd_value(home)));
+                profile.trusted_hubs.push_back(hub);
+            }
+        }
+        pop.merchant_profiles.push_back(std::move(profile));
+    }
+
+    // Merchants per currency, for the users' favorite lists.
+    std::unordered_map<Currency, std::vector<std::uint32_t>> merchants_by_currency;
+    for (std::uint32_t i = 0; i < pop.merchants.size(); ++i) {
+        merchants_by_currency[pop.merchant_profiles[i].home].push_back(i);
+    }
+
+    // --- users ------------------------------------------------------------
+    for (std::size_t i = 0; i < config.num_users; ++i) {
+        const Currency home = catalog[currency_sampler.sample(rng)].code;
+        const AccountID id = spawn(ledger, "user:" + std::to_string(i), kXrpPerUser);
+        pop.users.push_back(id);
+
+        UserProfile profile;
+        profile.home = home;
+        const double unit = usd_value(home);
+        profile.typical_amount = (20.0 / unit) * rng.lognormal(0.0, 0.8);
+
+        const auto& issuers = pop.issuers_by_currency[home];
+        const std::size_t deposit_count = std::min<std::size_t>(issuers.size(), 4);
+        for (const std::size_t k :
+             sample_indices(rng, issuers.size(), deposit_count)) {
+            deposit(ledger, issuers[k], id, home,
+                    config.deposit_scale * profile.typical_amount,
+                    1e12 / unit);
+            profile.deposit_gateways.push_back(issuers[k]);
+        }
+
+        const auto& local_merchants = merchants_by_currency[home];
+        if (!local_merchants.empty()) {
+            const std::size_t favorites =
+                1 + static_cast<std::size_t>(rng.uniform_u64(0, 5));
+            for (std::size_t k = 0; k < favorites; ++k) {
+                profile.favorite_merchants.push_back(local_merchants[
+                    rng.uniform_u64(0, local_merchants.size() - 1)]);
+            }
+        }
+        pop.user_profiles.push_back(std::move(profile));
+    }
+
+    // --- spam infrastructure ------------------------------------------------
+    pop.ripple_spin = spawn(ledger, "spam:ripple-spin", 1000.0);
+    pop.labels[pop.ripple_spin] = "~Ripple Spin";
+
+    for (int i = 0; i < 3; ++i) {
+        pop.zero_spammers.push_back(
+            spawn(ledger, "spam:zero-" + std::to_string(i), 1e6));
+    }
+
+    // The MTL attack: one spammer issuing its own worthless token,
+    // six hand-built chains of eight intermediates each.
+    pop.mtl_spammer = spawn(ledger, "spam:mtl-spammer", 1e6);
+    pop.labels[pop.mtl_spammer] = "MTL spammer";
+    pop.mtl_target = spawn(ledger, "spam:mtl-target", 1000.0);
+    const Currency mtl = cur("MTL");
+    for (int chain = 0; chain < 6; ++chain) {
+        std::vector<AccountID> nodes;
+        nodes.push_back(pop.mtl_spammer);
+        for (int hop = 0; hop < 8; ++hop) {
+            nodes.push_back(spawn(
+                ledger,
+                "spam:mtl-" + std::to_string(chain) + "-" + std::to_string(hop),
+                100.0, false, true));
+        }
+        nodes.push_back(pop.mtl_target);
+        // Wire capacity along the chain: each node trusts its
+        // predecessor for an effectively unbounded MTL amount (the
+        // paper observes the attacker piling up ~1e22 of MTL debt).
+        for (std::size_t k = 0; k + 1 < nodes.size(); ++k) {
+            ledger.set_trust(nodes[k + 1], nodes[k], mtl,
+                             IouAmount::from_double(1e22));
+        }
+        pop.mtl_chains.push_back(std::move(nodes));
+    }
+
+    // The 44-hop curiosity: Fig 6(a) shows a single bucket at 44
+    // intermediate hops — someone chained 44 of their own accounts
+    // once. Wire it in the spammer's token.
+    {
+        std::vector<AccountID> nodes;
+        nodes.push_back(pop.mtl_spammer);
+        for (int hop = 0; hop < 44; ++hop) {
+            nodes.push_back(spawn(ledger, "spam:44-" + std::to_string(hop),
+                                  100.0, false, true));
+        }
+        nodes.push_back(pop.mtl_target);
+        for (std::size_t k = 0; k + 1 < nodes.size(); ++k) {
+            ledger.set_trust(nodes[k + 1], nodes[k], mtl,
+                             IouAmount::from_double(1e22));
+        }
+        pop.fortyfour_chain = std::move(nodes);
+    }
+
+    // CCK: a handful of accounts exchanging micro-amounts of a mystery
+    // token, every payment railing through the same two hyperactive
+    // non-gateway accounts — our stand-ins for the paper's rp2PaY /
+    // r42Ccn, the two most frequent intermediate hops of Fig 7(a),
+    // both activated by the same third account and "almost an order of
+    // magnitude" above every gateway.
+    pop.cck_issuer = spawn(ledger, "spam:cck-rail-0", 1e6, false, true);
+    const AccountID rail2 = spawn(ledger, "spam:cck-rail-1", 1e6, false, true);
+    pop.cck_rails = {pop.cck_issuer, rail2};
+    pop.labels[pop.cck_issuer] = "rp2PaY...X1mEx7";
+    pop.labels[rail2] = "r42Ccn...Xqm5M3";
+    const Currency cck = cur("CCK");
+    // Both rails issue CCK; every spammer holds inventory at both and
+    // every target accepts both, so each payment crosses exactly one
+    // rail (one intermediate hop, like the bulk of Fig 6(a)).
+    for (int i = 0; i < 5; ++i) {
+        const AccountID id = spawn(ledger, "spam:cck-s" + std::to_string(i), 1e4);
+        for (const AccountID& rail : pop.cck_rails) {
+            deposit(ledger, rail, id, cck, 1e9, 1e12);
+        }
+        pop.cck_spammers.push_back(id);
+    }
+    for (int i = 0; i < 3; ++i) {
+        const AccountID id = spawn(ledger, "spam:cck-t" + std::to_string(i), 100.0);
+        for (const AccountID& rail : pop.cck_rails) {
+            ledger.set_trust(id, rail, cck, IouAmount::from_double(1e12));
+        }
+        pop.cck_targets.push_back(id);
+    }
+
+    return pop;
+}
+
+}  // namespace xrpl::datagen

@@ -1,0 +1,94 @@
+// Population builder: accounts, trust topology, deposits, spam wiring.
+//
+// Builds the "stable snapshot" the workload runs against:
+//   * gateways (the Fig 7 names where the paper identifies them),
+//     each issuing a handful of currencies;
+//   * the 50 influential hub accounts (Fig 7(a)) — led by the two
+//     mystery non-gateway nodes — holding deposits at many gateways
+//     and trusted widely, which is what lets them appear as
+//     intermediate hops;
+//   * Market Makers with multi-currency deposits and XRP float;
+//   * merchants trusting 2-4 gateways of their home currency;
+//   * ordinary users with deposits at up to 4 gateways (deposits are
+//     the per-path spending capacity, so payments larger than one
+//     deposit split across parallel paths — Fig 6(b));
+//   * the spam infrastructure: the MTL spammer with its 6 chains of 8
+//     intermediates, CCK spammers, ACCOUNT_ZERO, and ~Ripple Spin.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datagen/config.hpp"
+#include "ledger/ledger.hpp"
+#include "util/rng.hpp"
+
+namespace xrpl::datagen {
+
+struct UserProfile {
+    ledger::Currency home;
+    std::vector<ledger::AccountID> deposit_gateways;
+    /// Typical retail payment size in the home currency.
+    double typical_amount = 1.0;
+    /// Indices into Population::merchants.
+    std::vector<std::uint32_t> favorite_merchants;
+};
+
+struct MerchantProfile {
+    ledger::Currency home;
+    std::vector<ledger::AccountID> gateways;
+    /// Hubs this merchant trusts directly (well-known liquidity
+    /// providers) — the source of two-intermediate routes in Fig 6(a).
+    std::vector<ledger::AccountID> trusted_hubs;
+};
+
+struct Population {
+    std::vector<ledger::AccountID> gateways;
+    /// Currencies each gateway issues (parallel to `gateways`).
+    std::vector<std::vector<ledger::Currency>> gateway_currencies;
+    std::vector<ledger::AccountID> hubs;
+    std::vector<ledger::AccountID> market_makers;
+    std::vector<ledger::AccountID> merchants;
+    std::vector<MerchantProfile> merchant_profiles;
+    std::vector<ledger::AccountID> users;
+    std::vector<UserProfile> user_profiles;
+
+    /// Gateways issuing each currency.
+    std::unordered_map<ledger::Currency, std::vector<ledger::AccountID>>
+        issuers_by_currency;
+
+    /// Display labels (gateway names, hub abbreviations).
+    std::unordered_map<ledger::AccountID, std::string> labels;
+
+    // Spam infrastructure.
+    ledger::AccountID account_zero;
+    std::vector<ledger::AccountID> zero_spammers;
+    ledger::AccountID ripple_spin;
+    ledger::AccountID mtl_spammer;
+    ledger::AccountID mtl_target;
+    /// Six full node paths [spammer, 8 intermediates, target].
+    std::vector<std::vector<ledger::AccountID>> mtl_chains;
+    /// The one-off 44-intermediate chain behind Fig 6(a)'s lone
+    /// outlier bucket (someone experimenting with the path engine).
+    std::vector<ledger::AccountID> fortyfour_chain;
+    std::vector<ledger::AccountID> cck_spammers;
+    std::vector<ledger::AccountID> cck_targets;
+    /// The CCK issuing account (first of the two rails).
+    ledger::AccountID cck_issuer;
+    /// The two hyperactive intermediate accounts every CCK payment
+    /// rails through — the paper's mystery rp2PaY / r42Ccn nodes.
+    std::vector<ledger::AccountID> cck_rails;
+
+    [[nodiscard]] std::string label_of(const ledger::AccountID& id) const {
+        const auto it = labels.find(id);
+        return it == labels.end() ? id.short_display() : it->second;
+    }
+};
+
+/// Build the snapshot into `ledger`. Deterministic for a given config.
+[[nodiscard]] Population build_population(ledger::LedgerState& ledger,
+                                          const GeneratorConfig& config,
+                                          util::Rng& rng);
+
+}  // namespace xrpl::datagen

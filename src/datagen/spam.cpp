@@ -1,0 +1,52 @@
+#include "datagen/spam.hpp"
+
+#include <span>
+
+namespace xrpl::datagen {
+
+const char* spam_kind_name(SpamKind kind) noexcept {
+    switch (kind) {
+        case SpamKind::kOrganic: return "organic";
+        case SpamKind::kMtlCampaign: return "mtl-campaign";
+        case SpamKind::kCckCampaign: return "cck-campaign";
+        case SpamKind::kAccountZeroPingPong: return "account-zero";
+        case SpamKind::kGambling: return "gambling";
+    }
+    return "?";
+}
+
+SpamKind classify(const ledger::TxRecord& record,
+                  const Population& population) noexcept {
+    if (record.destination == population.account_zero ||
+        record.sender == population.account_zero) {
+        return SpamKind::kAccountZeroPingPong;
+    }
+    if (record.destination == population.ripple_spin) {
+        return SpamKind::kGambling;
+    }
+    if (record.currency == cur("MTL")) {
+        // MTL traffic is recognizable by its absurd amounts (~1e9).
+        if (record.amount.to_double() > 1e6) return SpamKind::kMtlCampaign;
+    }
+    if (record.currency == cur("CCK")) {
+        return SpamKind::kCckCampaign;
+    }
+    return SpamKind::kOrganic;
+}
+
+SpamBreakdown spam_breakdown(std::span<const ledger::TxRecord> records,
+                             const Population& population) {
+    SpamBreakdown breakdown;
+    for (const ledger::TxRecord& record : records) {
+        switch (classify(record, population)) {
+            case SpamKind::kOrganic: ++breakdown.organic; break;
+            case SpamKind::kMtlCampaign: ++breakdown.mtl; break;
+            case SpamKind::kCckCampaign: ++breakdown.cck; break;
+            case SpamKind::kAccountZeroPingPong: ++breakdown.account_zero; break;
+            case SpamKind::kGambling: ++breakdown.gambling; break;
+        }
+    }
+    return breakdown;
+}
+
+}  // namespace xrpl::datagen

@@ -1,0 +1,614 @@
+#include "datagen/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace xrpl::datagen {
+
+namespace {
+
+using ledger::AccountID;
+using ledger::Amount;
+using ledger::Currency;
+using ledger::IouAmount;
+using ledger::TxRecord;
+using ledger::TxResult;
+using paths::PaymentRequest;
+
+std::vector<double> category_weights(const GeneratorConfig& c) {
+    return {c.xrp_organic_fraction, c.ripple_spin_fraction,
+            c.account_zero_fraction, c.mtl_spam_fraction,
+            c.cck_spam_fraction,     c.iou_retail_fraction,
+            c.cross_currency_fraction};
+}
+
+TxRecord make_record(const PaymentRequest& request, util::RippleTime now) {
+    TxRecord record;
+    record.sender = request.sender;
+    record.destination = request.destination;
+    record.currency = request.deliver.currency;
+    record.amount = request.deliver.value;
+    record.time = now;
+    return record;
+}
+
+/// Poisson sampler (Knuth; fine for small lambda).
+std::uint32_t poisson(util::Rng& rng, double lambda) {
+    const double limit = std::exp(-lambda);
+    double product = rng.uniform01();
+    std::uint32_t count = 0;
+    while (product > limit) {
+        ++count;
+        product *= rng.uniform01();
+    }
+    return count;
+}
+
+}  // namespace
+
+const char* category_name(PaymentCategory c) noexcept {
+    switch (c) {
+        case PaymentCategory::kXrpOrganic: return "xrp-organic";
+        case PaymentCategory::kRippleSpin: return "ripple-spin";
+        case PaymentCategory::kAccountZero: return "account-zero";
+        case PaymentCategory::kMtlSpam: return "mtl-spam";
+        case PaymentCategory::kCckSpam: return "cck-spam";
+        case PaymentCategory::kIouRetail: return "iou-retail";
+        case PaymentCategory::kCrossCurrency: return "cross-currency";
+        case PaymentCategory::kRefill: return "refill";
+    }
+    return "?";
+}
+
+WorkloadGenerator::WorkloadGenerator(const GeneratorConfig& config,
+                                     Population& population,
+                                     paths::PaymentEngine& engine, util::Rng& rng)
+    : config_(config),
+      pop_(&population),
+      engine_(&engine),
+      rng_(&rng),
+      category_sampler_(category_weights(config)),
+      maker_sampler_(population.market_makers.size(), 1.0),
+      merchant_sampler_(std::max<std::size_t>(population.merchants.size(), 1), 1.0),
+      currency_sampler_([] {
+          std::vector<double> weights;
+          for (const CurrencyInfo& info : organic_currency_catalog()) {
+              weights.push_back(info.weight);
+          }
+          return util::CategoricalSampler(weights);
+      }()),
+      live_offers_(population.market_makers.size()),
+      offer_placements_(population.market_makers.size(), 0) {
+    for (std::uint32_t i = 0; i < pop_->users.size(); ++i) {
+        users_by_currency_[pop_->user_profiles[i].home].push_back(i);
+    }
+
+    // Which currencies each maker can deliver (has a deposit line in).
+    maker_currencies_.resize(pop_->market_makers.size());
+    const ledger::LedgerState& state = engine_->ledger();
+    for (std::size_t i = 0; i < pop_->market_makers.size(); ++i) {
+        std::unordered_set<Currency> seen;
+        for (const ledger::TrustLine* line : state.lines_of(pop_->market_makers[i])) {
+            if (seen.insert(line->key().currency).second) {
+                maker_currencies_[i].push_back(line->key().currency);
+            }
+        }
+    }
+}
+
+void WorkloadGenerator::emit_page(
+    util::RippleTime close_time,
+    const std::function<void(const WorkloadOutcome&)>& sink) {
+    place_offers();
+    // Bursts contribute ~3 payments each; the base rate is lowered so
+    // the overall mean stays at payments_per_page.
+    const double base_lambda = std::max(
+        0.1, config_.payments_per_page - 3.0 * config_.burst_probability);
+    const std::uint32_t payments = poisson(*rng_, base_lambda);
+    for (std::uint32_t i = 0; i < payments; ++i) {
+        const auto category =
+            static_cast<PaymentCategory>(category_sampler_.sample(*rng_));
+        attempt(category, close_time, sink);
+    }
+    if (rng_->bernoulli(config_.burst_probability)) {
+        emit_burst(close_time, sink);
+    }
+
+    // Liquidity maintenance: hub operators replenish a drained
+    // gateway line now and then (a real, recorded deposit payment).
+    if (rng_->bernoulli(0.60) && !pop_->hubs.empty()) {
+        const ledger::AccountID& hub =
+            pop_->hubs[rng_->uniform_u64(0, pop_->hubs.size() - 1)];
+        const auto& lines = engine_->ledger().lines_of(hub);
+        if (!lines.empty()) {
+            const ledger::TrustLine* line =
+                lines[rng_->uniform_u64(0, lines.size() - 1)];
+            const ledger::AccountID& gateway = line->peer_of(hub);
+            const Currency currency = line->key().currency;
+            const double unit = usd_value(currency);
+            const double held = line->balance_for(hub).to_double();
+            if (held < 5e4 / unit &&
+                engine_->ledger().account(gateway) != nullptr &&
+                engine_->ledger().account(gateway)->is_gateway) {
+                PaymentRequest request;
+                request.sender = gateway;
+                request.destination = hub;
+                request.deliver = Amount::iou(
+                    currency,
+                    (1e5 / unit - held) * rng_->uniform(0.9, 1.1));
+                request.source_currency = currency;
+                WorkloadOutcome out;
+                out.category = PaymentCategory::kRefill;
+                out.result = engine_->execute(request);
+                out.record = make_record(request, close_time);
+                stats_.count(PaymentCategory::kRefill, out.result.success);
+                if (out.result.success) sink(out);
+            }
+        }
+    }
+}
+
+void WorkloadGenerator::emit_burst(
+    util::RippleTime now, const std::function<void(const WorkloadOutcome&)>& sink) {
+    if (pop_->merchants.empty()) return;
+    const std::size_t merchant_index = merchant_sampler_.sample(*rng_);
+    const MerchantProfile& merchant = pop_->merchant_profiles[merchant_index];
+    const auto it = users_by_currency_.find(merchant.home);
+    if (it == users_by_currency_.end() || it->second.size() < 2) return;
+
+    const std::uint64_t size = rng_->uniform_u64(2, 4);
+    const double typical = 20.0 / usd_value(merchant.home);
+    for (std::uint64_t i = 0; i < size; ++i) {
+        const std::uint32_t user_index =
+            it->second[rng_->uniform_u64(0, it->second.size() - 1)];
+        PaymentRequest request;
+        request.sender = pop_->users[user_index];
+        request.destination = pop_->merchants[merchant_index];
+        request.deliver =
+            Amount::iou(merchant.home, typical * rng_->lognormal(0.0, 1.8));
+        request.source_currency = merchant.home;
+
+        WorkloadOutcome out;
+        out.category = PaymentCategory::kIouRetail;
+        out.result = engine_->execute(request);
+        if (!out.result.success) {
+            refill_user(user_index, now, sink);
+            out.result = engine_->execute(request);
+        }
+        out.record = make_record(request, now);
+        stats_.count(PaymentCategory::kIouRetail, out.result.success);
+        if (out.result.success) sink(out);
+    }
+}
+
+void WorkloadGenerator::place_offers() {
+    const std::uint32_t count = poisson(*rng_, config_.offers_per_page);
+    ledger::LedgerState& state = engine_->ledger();
+    for (std::uint32_t n = 0; n < count; ++n) {
+        const std::size_t maker_index = maker_sampler_.sample(*rng_);
+        const auto& currencies = maker_currencies_[maker_index];
+        if (currencies.empty()) continue;
+        const AccountID& maker = pop_->market_makers[maker_index];
+
+        // 80% of quotes bridge a currency with XRP (the universal
+        // bridge); the rest quote a direct pair the maker can serve.
+        Currency pays;
+        Currency gets;
+        if (rng_->bernoulli(0.8) || currencies.size() < 2) {
+            const Currency c = currencies[rng_->uniform_u64(0, currencies.size() - 1)];
+            if (rng_->bernoulli(0.5)) {
+                pays = Currency::xrp();
+                gets = c;
+            } else {
+                pays = c;
+                gets = Currency::xrp();
+            }
+        } else {
+            const std::size_t a = rng_->uniform_u64(0, currencies.size() - 1);
+            std::size_t b = rng_->uniform_u64(0, currencies.size() - 2);
+            if (b >= a) ++b;
+            pays = currencies[a];
+            gets = currencies[b];
+        }
+
+        // Rate from USD values, with a small maker spread.
+        const double fair = usd_value(gets) / usd_value(pays);
+        const double rate = fair * rng_->uniform(1.002, 1.03);
+        const double gets_amount =
+            (2e5 / usd_value(gets)) * rng_->lognormal(0.0, 0.7);
+        const double pays_amount = gets_amount * rate;
+
+        const std::uint64_t id = state.place_offer(
+            maker, Amount::iou(pays, pays_amount), Amount::iou(gets, gets_amount));
+        ++offer_placements_[maker_index];
+        ++offers_placed_total_;
+
+        auto& live = live_offers_[maker_index];
+        live.push_back(LiveOffer{ledger::BookKey{pays, gets}, id});
+        // Churn: retire the maker's oldest quote beyond the cap.
+        if (live.size() > config_.live_offers_per_maker) {
+            const LiveOffer old = live.front();
+            live.pop_front();
+            auto& book = state.book_mutable(old.key);
+            std::erase_if(book,
+                          [&](const ledger::Offer& o) { return o.id == old.id; });
+        }
+    }
+}
+
+void WorkloadGenerator::attempt(
+    PaymentCategory category, util::RippleTime now,
+    const std::function<void(const WorkloadOutcome&)>& sink) {
+    WorkloadOutcome out;
+    out.category = category;
+    bool ok = false;
+    switch (category) {
+        case PaymentCategory::kXrpOrganic: ok = do_xrp_organic(now, out); break;
+        case PaymentCategory::kRippleSpin: ok = do_ripple_spin(now, out); break;
+        case PaymentCategory::kAccountZero: ok = do_account_zero(now, out); break;
+        case PaymentCategory::kMtlSpam: ok = do_mtl_spam(now, out); break;
+        case PaymentCategory::kCckSpam: ok = do_cck_spam(now, out); break;
+        case PaymentCategory::kIouRetail: ok = do_iou_retail(now, out, sink); break;
+        case PaymentCategory::kCrossCurrency: ok = do_cross_currency(now, out); break;
+        case PaymentCategory::kRefill: break;  // generated only internally
+    }
+    stats_.count(category, ok);
+    if (ok) sink(out);
+}
+
+bool WorkloadGenerator::do_xrp_organic(util::RippleTime now, WorkloadOutcome& out) {
+    PaymentRequest request;
+    double draw;
+    if (rng_->bernoulli(config_.xrp_whale_fraction)) {
+        // Whale-sized treasury moves between Market Makers and hubs:
+        // the far tail of Fig 5's global amount distribution.
+        request.sender = pop_->market_makers[rng_->uniform_u64(
+            0, pop_->market_makers.size() - 1)];
+        request.destination = rng_->bernoulli(0.5)
+                                  ? pop_->market_makers[rng_->uniform_u64(
+                                        0, pop_->market_makers.size() - 1)]
+                                  : pop_->hubs[rng_->uniform_u64(
+                                        0, pop_->hubs.size() - 1)];
+        if (request.destination == request.sender) return false;
+        draw = rng_->lognormal(std::log(5e7), 2.5);
+    } else {
+        const std::size_t from = rng_->uniform_u64(0, pop_->users.size() - 1);
+        std::size_t to = rng_->uniform_u64(0, pop_->users.size() - 1);
+        if (to == from) to = (to + 1) % pop_->users.size();
+        request.sender = pop_->users[from];
+        request.destination = rng_->bernoulli(0.15) && !pop_->merchants.empty()
+                                  ? pop_->merchants[merchant_sampler_.sample(*rng_)]
+                                  : pop_->users[to];
+        draw = rng_->lognormal(std::log(8e4), 2.2);
+    }
+
+    // Heavy-tailed, but nobody sends more XRP than they own. The cap
+    // is jittered so clamped payments don't pile on one exact amount.
+    const double balance =
+        engine_->ledger().account(request.sender)->balance.to_xrp();
+    const double amount = std::min(draw, rng_->uniform(0.4, 0.8) * balance);
+    if (amount < 1e-6) return false;
+    request.deliver = Amount::xrp(amount);
+    request.source_currency = Currency::xrp();
+
+    out.result = engine_->execute(request);
+    out.record = make_record(request, now);
+    return out.result.success;
+}
+
+bool WorkloadGenerator::do_ripple_spin(util::RippleTime now, WorkloadOutcome& out) {
+    PaymentRequest request;
+    request.sender =
+        pop_->users[rng_->uniform_u64(0, pop_->users.size() - 1)];
+    request.destination = pop_->ripple_spin;
+    // Gambling bets: small, round-ish XRP amounts.
+    static constexpr double kBets[] = {1, 2, 5, 10, 20, 25, 50, 100};
+    request.deliver = Amount::xrp(kBets[rng_->uniform_u64(0, 7)]);
+    request.source_currency = Currency::xrp();
+
+    out.result = engine_->execute(request);
+    out.record = make_record(request, now);
+    return out.result.success;
+}
+
+bool WorkloadGenerator::do_account_zero(util::RippleTime now, WorkloadOutcome& out) {
+    const AccountID& spammer =
+        pop_->zero_spammers[rng_->uniform_u64(0, pop_->zero_spammers.size() - 1)];
+    PaymentRequest request;
+    // "Repeatedly send back-and-forth to their accounts small amounts
+    // of XRPs": the zero account's secret key is public.
+    if (zero_spam_outbound_) {
+        request.sender = spammer;
+        request.destination = pop_->account_zero;
+    } else {
+        request.sender = pop_->account_zero;
+        request.destination = spammer;
+    }
+    zero_spam_outbound_ = !zero_spam_outbound_;
+    request.deliver = Amount::xrp(rng_->uniform(1.0, 10.0));
+    request.source_currency = Currency::xrp();
+
+    out.result = engine_->execute(request);
+    out.record = make_record(request, now);
+    return out.result.success;
+}
+
+bool WorkloadGenerator::do_mtl_spam(util::RippleTime now, WorkloadOutcome& out) {
+    PaymentRequest request;
+    request.sender = pop_->mtl_spammer;
+    request.destination = pop_->mtl_target;
+
+    // Exactly one payment in the whole history takes the 44-hop tour
+    // (Fig 6(a)'s outlier bucket).
+    if (!fortyfour_emitted_ && !pop_->fortyfour_chain.empty()) {
+        fortyfour_emitted_ = true;
+        request.deliver = Amount::iou(cur("MTL"), 1e9);
+        request.source_currency = request.deliver.currency;
+        const std::vector<std::vector<ledger::AccountID>> chain = {
+            pop_->fortyfour_chain};
+        out.result = engine_->execute_along(request, chain);
+        out.record = make_record(request, now);
+        return out.result.success;
+    }
+    // Machine-crafted round amounts around 1e9 (a multiple of 1e7:
+    // spam scripts do not randomize decimals).
+    const double amount =
+        1e7 * std::floor(100.0 * rng_->lognormal(0.0, 0.25) + 0.5);
+    request.deliver = Amount::iou(cur("MTL"), amount);
+    request.source_currency = request.deliver.currency;
+
+    out.result = engine_->execute_along(request, pop_->mtl_chains);
+    out.record = make_record(request, now);
+    return out.result.success;
+}
+
+bool WorkloadGenerator::do_cck_spam(util::RippleTime now, WorkloadOutcome& out) {
+    PaymentRequest request;
+    request.sender =
+        pop_->cck_spammers[rng_->uniform_u64(0, pop_->cck_spammers.size() - 1)];
+    request.destination =
+        pop_->cck_targets[rng_->uniform_u64(0, pop_->cck_targets.size() - 1)];
+    // Micro-transactions, "a survival function similar to the BTC".
+    request.deliver =
+        Amount::iou(cur("CCK"), 0.03 * rng_->lognormal(0.0, 1.6));
+    request.source_currency = request.deliver.currency;
+
+    // Explicitly railed through one of the two hyperactive accounts.
+    const ledger::AccountID& rail =
+        pop_->cck_rails[rng_->uniform_u64(0, pop_->cck_rails.size() - 1)];
+    const std::vector<std::vector<ledger::AccountID>> paths = {
+        {request.sender, rail, request.destination}};
+    out.result = engine_->execute_along(request, paths);
+    out.record = make_record(request, now);
+    return out.result.success;
+}
+
+std::vector<double> WorkloadGenerator::user_capacities(std::size_t user_index) const {
+    const UserProfile& profile = pop_->user_profiles[user_index];
+    const ledger::LedgerState& state = engine_->ledger();
+    std::vector<double> caps;
+    caps.reserve(profile.deposit_gateways.size());
+    for (const AccountID& gateway : profile.deposit_gateways) {
+        const ledger::TrustLine* line =
+            state.trustline(pop_->users[user_index], gateway, profile.home);
+        caps.push_back(line == nullptr
+                           ? 0.0
+                           : line->capacity_from(pop_->users[user_index]).to_double());
+    }
+    return caps;
+}
+
+void WorkloadGenerator::refill_user(
+    std::size_t user_index, util::RippleTime now,
+    const std::function<void(const WorkloadOutcome&)>& sink) {
+    const UserProfile& profile = pop_->user_profiles[user_index];
+    const double target = config_.deposit_scale * profile.typical_amount;
+    const std::vector<double> caps = user_capacities(user_index);
+    for (std::size_t i = 0; i < profile.deposit_gateways.size(); ++i) {
+        if (caps[i] > 0.3 * target) continue;
+        PaymentRequest request;
+        request.sender = profile.deposit_gateways[i];
+        request.destination = pop_->users[user_index];
+        // Jitter the top-up: simultaneous refills from two gateways
+        // must not produce byte-identical amounts.
+        const double top_up =
+            (target - caps[i]) * rng_->uniform(0.92, 1.15);
+        request.deliver = Amount::iou(profile.home, top_up);
+        request.source_currency = profile.home;
+        WorkloadOutcome out;
+        out.category = PaymentCategory::kRefill;
+        out.result = engine_->execute(request);
+        out.record = make_record(request, now);
+        stats_.count(PaymentCategory::kRefill, out.result.success);
+        if (out.result.success) sink(out);
+    }
+}
+
+bool WorkloadGenerator::do_iou_retail(
+    util::RippleTime now, WorkloadOutcome& out,
+    const std::function<void(const WorkloadOutcome&)>& sink) {
+    const std::size_t user_index = rng_->uniform_u64(0, pop_->users.size() - 1);
+    const UserProfile& profile = pop_->user_profiles[user_index];
+    if (profile.favorite_merchants.empty() || profile.deposit_gateways.empty()) {
+        return false;
+    }
+
+    const std::uint32_t merchant_index =
+        profile.favorite_merchants[rng_->uniform_u64(
+            0, profile.favorite_merchants.size() - 1)];
+
+    // Parallel-path split target, drawn deliberately high: the routes
+    // that actually exist between this user and merchant cap the
+    // realized split, landing near the paper's Fig 6(b) organic shares
+    // (16.3 / 10.4 / 9.3 / 28.9 over the non-spam 65%). Splits are
+    // executed through the transaction's explicit Paths set (as
+    // real Ripple clients do), spreading the amount evenly over the
+    // user's gateways instead of draining lines one by one.
+    static constexpr double kSplitWeights[] = {0.10, 0.17, 0.16, 0.57};
+    double draw = rng_->uniform01();
+    std::size_t split = 1;
+    for (const double w : kSplitWeights) {
+        if (draw < w) break;
+        draw -= w;
+        ++split;
+    }
+    split = std::min(split, std::size_t{4});
+
+    const double amount = profile.typical_amount * rng_->lognormal(0.0, 1.0);
+    if (amount <= 0.0) return false;
+
+    PaymentRequest request;
+    request.sender = pop_->users[user_index];
+    request.destination = pop_->merchants[merchant_index];
+    request.deliver = Amount::iou(profile.home, amount);
+    request.source_currency = profile.home;
+
+    if (split > 1) {
+        // Build the transaction's explicit Paths set: first the
+        // one-intermediate routes through gateways both parties use,
+        // then longer routes bridged by liquidity nodes (user -> G_a ->
+        // hub/maker -> G_b -> merchant). Shares drawn from the same
+        // deposit line accumulate, so per-gateway spending capacity is
+        // tracked.
+        const ledger::LedgerState& state = engine_->ledger();
+        const double share = amount / static_cast<double>(split);
+        std::vector<std::vector<ledger::AccountID>> explicit_paths;
+        std::unordered_map<ledger::AccountID, double> planned_outflow;
+
+        auto user_line_allows = [&](const ledger::AccountID& gw) {
+            const ledger::TrustLine* up =
+                state.trustline(request.sender, gw, profile.home);
+            if (up == nullptr) return false;
+            return up->capacity_from(request.sender).to_double() >=
+                   planned_outflow[gw] + share * 1.01;
+        };
+
+        for (const ledger::AccountID& gw : profile.deposit_gateways) {
+            if (explicit_paths.size() == split) break;
+            const ledger::TrustLine* down =
+                state.trustline(gw, request.destination, profile.home);
+            if (down == nullptr) continue;
+            if (down->capacity_from(gw).to_double() < share * 1.01) continue;
+            if (!user_line_allows(gw)) continue;
+            planned_outflow[gw] += share;
+            explicit_paths.push_back({request.sender, gw, request.destination});
+        }
+
+        // Two-intermediate routes through hubs the merchant trusts
+        // directly: user -> G_a -> hub -> merchant.
+        const MerchantProfile& merchant_profile =
+            pop_->merchant_profiles[merchant_index];
+        for (const ledger::AccountID& hub : merchant_profile.trusted_hubs) {
+            if (explicit_paths.size() == split) break;
+            const ledger::TrustLine* down =
+                state.trustline(hub, request.destination, profile.home);
+            if (down == nullptr ||
+                down->capacity_from(hub).to_double() < share * 1.01) {
+                continue;
+            }
+            for (const ledger::AccountID& ga : profile.deposit_gateways) {
+                const ledger::TrustLine* in =
+                    state.trustline(ga, hub, profile.home);
+                if (in == nullptr ||
+                    in->capacity_from(ga).to_double() < share * 1.01) {
+                    continue;
+                }
+                if (!user_line_allows(ga)) continue;
+                planned_outflow[ga] += share;
+                explicit_paths.push_back(
+                    {request.sender, ga, hub, request.destination});
+                break;
+            }
+        }
+
+        // Longer routes bridged by a liquidity node between two
+        // gateways: hubs when their sparse coverage happens to fit,
+        // otherwise Market Makers — "Market Makers, as any other user
+        // in Ripple, often contribute as hops in single-currency
+        // transaction paths" (paper, App. C). A random maker sample
+        // keeps the search cheap and spreads the load.
+        std::vector<ledger::AccountID> bridges = pop_->hubs;
+        for (int i = 0; i < 8 && !pop_->market_makers.empty(); ++i) {
+            bridges.push_back(pop_->market_makers[rng_->uniform_u64(
+                0, pop_->market_makers.size() - 1)]);
+        }
+
+        for (const ledger::AccountID& ga : profile.deposit_gateways) {
+            if (explicit_paths.size() == split) break;
+            for (const ledger::AccountID& gb : merchant_profile.gateways) {
+                if (explicit_paths.size() == split) break;
+                if (ga == gb) continue;
+                for (const ledger::AccountID& bridge : bridges) {
+                    const ledger::TrustLine* in =
+                        state.trustline(ga, bridge, profile.home);
+                    const ledger::TrustLine* out_line =
+                        state.trustline(bridge, gb, profile.home);
+                    if (in == nullptr || out_line == nullptr) continue;
+                    if (in->capacity_from(ga).to_double() < share * 1.01) continue;
+                    if (out_line->capacity_from(bridge).to_double() <
+                        share * 1.01) {
+                        continue;
+                    }
+                    const ledger::TrustLine* down =
+                        state.trustline(gb, request.destination, profile.home);
+                    if (down == nullptr ||
+                        down->capacity_from(gb).to_double() < share * 1.01) {
+                        continue;
+                    }
+                    if (!user_line_allows(ga)) continue;
+                    planned_outflow[ga] += share;
+                    explicit_paths.push_back(
+                        {request.sender, ga, bridge, gb, request.destination});
+                    break;  // one bridged route per (ga, gb) pair
+                }
+            }
+        }
+
+        // Use whatever parallel liquidity exists (at least two routes,
+        // at most the drawn target).
+        if (explicit_paths.size() >= 2) {
+            out.result = engine_->execute_along(request, explicit_paths);
+            if (out.result.success) {
+                out.record = make_record(request, now);
+                return true;
+            }
+        }
+        // Not enough parallel liquidity: fall through to the engine's
+        // own path finding.
+    }
+
+    out.result = engine_->execute(request);
+    if (!out.result.success) {
+        // Liquidity hiccup: top up and retry once.
+        refill_user(user_index, now, sink);
+        out.result = engine_->execute(request);
+    }
+    out.record = make_record(request, now);
+    return out.result.success;
+}
+
+bool WorkloadGenerator::do_cross_currency(util::RippleTime now,
+                                          WorkloadOutcome& out) {
+    const std::size_t user_index = rng_->uniform_u64(0, pop_->users.size() - 1);
+    const UserProfile& profile = pop_->user_profiles[user_index];
+    if (pop_->merchants.empty()) return false;
+
+    const std::size_t merchant_index = merchant_sampler_.sample(*rng_);
+    const MerchantProfile& merchant = pop_->merchant_profiles[merchant_index];
+    if (merchant.home == profile.home) return false;  // re-drawn next time
+
+    PaymentRequest request;
+    request.sender = pop_->users[user_index];
+    request.destination = pop_->merchants[merchant_index];
+    const double amount =
+        (20.0 / usd_value(merchant.home)) * rng_->lognormal(0.0, 1.0);
+    request.deliver = Amount::iou(merchant.home, amount);
+    request.source_currency = profile.home;
+
+    out.result = engine_->execute(request);
+    out.record = make_record(request, now);
+    return out.result.success;
+}
+
+}  // namespace xrpl::datagen

@@ -1,0 +1,141 @@
+// Workload generator: the payment stream of the paper's 2013-2015
+// history, one ledger page at a time.
+//
+// Every page draws Poisson(payments_per_page) payments from the mix
+// of GeneratorConfig: organic XRP transfers, ~Ripple Spin bets,
+// ACCOUNT_ZERO ping-pong, the MTL 8-hop/6-path spam, CCK
+// micro-transactions, same-currency retail (with deposit refills and
+// deliberate parallel-path splits), and cross-currency purchases
+// bridged by Market-Maker offers. Market Makers churn offers each
+// page with a zipf-skewed placement distribution, reproducing the
+// "50% of 90M offers from 10 makers" concentration.
+//
+// All payments execute through the real PaymentEngine, so trust-line
+// balances, order books, and XRP balances evolve exactly as the
+// ledger's would.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datagen/config.hpp"
+#include "datagen/population.hpp"
+#include "paths/payment_engine.hpp"
+#include "util/rng.hpp"
+
+namespace xrpl::datagen {
+
+enum class PaymentCategory : std::uint8_t {
+    kXrpOrganic,
+    kRippleSpin,
+    kAccountZero,
+    kMtlSpam,
+    kCckSpam,
+    kIouRetail,
+    kCrossCurrency,
+    kRefill,
+};
+
+[[nodiscard]] const char* category_name(PaymentCategory c) noexcept;
+
+/// One successfully executed payment.
+struct WorkloadOutcome {
+    PaymentCategory category = PaymentCategory::kXrpOrganic;
+    ledger::TxRecord record;
+    ledger::TxResult result;
+};
+
+/// Failure tallies per category (engine refusals, liquidity gaps).
+struct WorkloadStats {
+    std::array<std::uint64_t, 8> attempts{};
+    std::array<std::uint64_t, 8> failures{};
+
+    void count(PaymentCategory c, bool success) noexcept {
+        ++attempts[static_cast<std::size_t>(c)];
+        if (!success) ++failures[static_cast<std::size_t>(c)];
+    }
+};
+
+class WorkloadGenerator {
+public:
+    WorkloadGenerator(const GeneratorConfig& config, Population& population,
+                      paths::PaymentEngine& engine, util::Rng& rng);
+
+    /// Generate and execute one page worth of payments; every
+    /// successful payment is passed to `sink`.
+    void emit_page(util::RippleTime close_time,
+                   const std::function<void(const WorkloadOutcome&)>& sink);
+
+    [[nodiscard]] const WorkloadStats& stats() const noexcept { return stats_; }
+
+    /// Lifetime offer placements per Market Maker (index-aligned with
+    /// Population::market_makers) — drives the concentration stat.
+    [[nodiscard]] const std::vector<std::uint64_t>& offer_placements() const noexcept {
+        return offer_placements_;
+    }
+    [[nodiscard]] std::uint64_t offers_placed_total() const noexcept {
+        return offers_placed_total_;
+    }
+
+private:
+    void place_offers();
+    void attempt(PaymentCategory category, util::RippleTime now,
+                 const std::function<void(const WorkloadOutcome&)>& sink);
+
+    /// A burst: several different senders pay the same destination
+    /// within one ledger close (bot traffic / flash crowds).
+    void emit_burst(util::RippleTime now,
+                    const std::function<void(const WorkloadOutcome&)>& sink);
+
+    bool do_xrp_organic(util::RippleTime now, WorkloadOutcome& out);
+    bool do_ripple_spin(util::RippleTime now, WorkloadOutcome& out);
+    bool do_account_zero(util::RippleTime now, WorkloadOutcome& out);
+    bool do_mtl_spam(util::RippleTime now, WorkloadOutcome& out);
+    bool do_cck_spam(util::RippleTime now, WorkloadOutcome& out);
+    bool do_iou_retail(util::RippleTime now, WorkloadOutcome& out,
+                       const std::function<void(const WorkloadOutcome&)>& sink);
+    bool do_cross_currency(util::RippleTime now, WorkloadOutcome& out);
+
+    /// Top up a user's gateway deposits; refills are real payments and
+    /// go to `sink`.
+    void refill_user(std::size_t user_index, util::RippleTime now,
+                     const std::function<void(const WorkloadOutcome&)>& sink);
+
+    /// Spendable capacity of one user towards each deposit gateway.
+    [[nodiscard]] std::vector<double> user_capacities(std::size_t user_index) const;
+
+    GeneratorConfig config_;  // stored by value: callers may pass temporaries
+    Population* pop_;
+    paths::PaymentEngine* engine_;
+    util::Rng* rng_;
+    WorkloadStats stats_;
+
+    util::CategoricalSampler category_sampler_;
+    util::ZipfSampler maker_sampler_;
+    util::ZipfSampler merchant_sampler_;
+    util::CategoricalSampler currency_sampler_;
+
+    // Per-maker live offers (for the churn cap) and currencies the
+    // maker can actually deliver.
+    struct LiveOffer {
+        ledger::BookKey key;
+        std::uint64_t id;
+    };
+    std::vector<std::deque<LiveOffer>> live_offers_;
+    std::vector<std::vector<ledger::Currency>> maker_currencies_;
+    /// User indices grouped by home currency (burst sender pools).
+    std::unordered_map<ledger::Currency, std::vector<std::uint32_t>>
+        users_by_currency_;
+    std::vector<std::uint64_t> offer_placements_;
+    std::uint64_t offers_placed_total_ = 0;
+
+    bool zero_spam_outbound_ = true;  // ping-pong direction
+    bool fortyfour_emitted_ = false;  // the single 44-hop payment
+};
+
+}  // namespace xrpl::datagen

@@ -1,0 +1,207 @@
+#include "ledger/amount.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace xrpl::ledger {
+
+namespace {
+
+constexpr std::int64_t kPow10[19] = {
+    1LL,
+    10LL,
+    100LL,
+    1000LL,
+    10000LL,
+    100000LL,
+    1000000LL,
+    10000000LL,
+    100000000LL,
+    1000000000LL,
+    10000000000LL,
+    100000000000LL,
+    1000000000000LL,
+    10000000000000LL,
+    100000000000000LL,
+    1000000000000000LL,
+    10000000000000000LL,
+    100000000000000000LL,
+    1000000000000000000LL,
+};
+
+}  // namespace
+
+IouAmount IouAmount::from_mantissa_exponent(std::int64_t mantissa,
+                                            int exponent) noexcept {
+    if (mantissa == 0) return {};
+
+    const bool negative = mantissa < 0;
+    // |INT64_MIN| does not fit; it is far outside normalized range anyway.
+    std::uint64_t mag = negative
+        ? (mantissa == INT64_MIN ? (std::uint64_t{1} << 63)
+                                 : static_cast<std::uint64_t>(-mantissa))
+        : static_cast<std::uint64_t>(mantissa);
+
+    // Scale up small mantissas.
+    while (mag < static_cast<std::uint64_t>(kMinMantissa)) {
+        mag *= 10;
+        --exponent;
+    }
+    // Scale down large mantissas, rounding half away from zero.
+    while (mag > static_cast<std::uint64_t>(kMaxMantissa)) {
+        const std::uint64_t rem = mag % 10;
+        mag /= 10;
+        if (rem >= 5) ++mag;
+        ++exponent;
+        // Rounding can push mag back above the cap (…9999.5 -> …000.0*10).
+    }
+
+    if (exponent < kMinExponent) return {};  // underflow -> zero
+    if (exponent > kMaxExponent) {           // overflow -> saturate
+        mag = static_cast<std::uint64_t>(kMaxMantissa);
+        exponent = kMaxExponent;
+    }
+
+    IouAmount out;
+    out.mantissa_ = negative ? -static_cast<std::int64_t>(mag)
+                             : static_cast<std::int64_t>(mag);
+    out.exponent_ = exponent;
+    return out;
+}
+
+IouAmount IouAmount::from_double(double value) noexcept {
+    if (value == 0.0 || !std::isfinite(value)) return {};
+    const bool negative = value < 0.0;
+    double mag = std::fabs(value);
+
+    int exponent10 = static_cast<int>(std::floor(std::log10(mag)));
+    // Bring mantissa into [1e15, 1e16).
+    int exponent = exponent10 - 15;
+    double scaled = mag / std::pow(10.0, exponent);
+    // Guard against log10 edge cases.
+    while (scaled >= 1e16) {
+        scaled /= 10.0;
+        ++exponent;
+    }
+    while (scaled < 1e15) {
+        scaled *= 10.0;
+        --exponent;
+    }
+    auto mantissa = static_cast<std::int64_t>(std::llround(scaled));
+    if (negative) mantissa = -mantissa;
+    return from_mantissa_exponent(mantissa, exponent);
+}
+
+double IouAmount::to_double() const noexcept {
+    return static_cast<double>(mantissa_) * std::pow(10.0, exponent_);
+}
+
+IouAmount IouAmount::negated() const noexcept {
+    IouAmount out = *this;
+    out.mantissa_ = -out.mantissa_;
+    return out;
+}
+
+IouAmount IouAmount::abs() const noexcept {
+    return mantissa_ < 0 ? negated() : *this;
+}
+
+IouAmount IouAmount::round_to_power_of_ten(int power) const noexcept {
+    if (is_zero()) return {};
+    const int k = power - exponent_;
+    if (k <= 0) return *this;  // already a multiple of 10^power
+    if (k >= 17) return {};    // magnitude < 0.5 * 10^power -> rounds to zero
+
+    const bool negative = mantissa_ < 0;
+    const std::int64_t mag = negative ? -mantissa_ : mantissa_;
+    const std::int64_t unit = kPow10[k];
+    std::int64_t q = mag / unit;
+    const std::int64_t r = mag % unit;
+    if (2 * r >= unit) ++q;  // ties away from zero
+    if (q == 0) return {};
+    return from_mantissa_exponent(negative ? -q : q, power);
+}
+
+IouAmount IouAmount::scaled_by(double factor) const noexcept {
+    return from_double(to_double() * factor);
+}
+
+IouAmount operator+(IouAmount a, IouAmount b) noexcept {
+    if (a.is_zero()) return b;
+    if (b.is_zero()) return a;
+
+    // Align to the larger exponent, downscaling the smaller operand
+    // (rippled does the same; low digits beyond 16 are lost).
+    std::int64_t ma = a.mantissa_;
+    std::int64_t mb = b.mantissa_;
+    int ea = a.exponent_;
+    int eb = b.exponent_;
+    while (ea < eb) {
+        ma /= 10;
+        ++ea;
+        if (ma == 0) return b;
+    }
+    while (eb < ea) {
+        mb /= 10;
+        ++eb;
+        if (mb == 0) return a;
+    }
+    return IouAmount::from_mantissa_exponent(ma + mb, ea);
+}
+
+IouAmount operator-(IouAmount a, IouAmount b) noexcept {
+    return a + b.negated();
+}
+
+int IouAmount::compare(const IouAmount& a, const IouAmount& b) noexcept {
+    const int sign_a = a.mantissa_ == 0 ? 0 : (a.mantissa_ < 0 ? -1 : 1);
+    const int sign_b = b.mantissa_ == 0 ? 0 : (b.mantissa_ < 0 ? -1 : 1);
+    if (sign_a != sign_b) return sign_a < sign_b ? -1 : 1;
+    if (sign_a == 0) return 0;
+
+    // Same nonzero sign: compare magnitudes via (exponent, mantissa).
+    int mag_cmp;
+    if (a.exponent_ != b.exponent_) {
+        mag_cmp = a.exponent_ < b.exponent_ ? -1 : 1;
+    } else {
+        const std::int64_t abs_a = a.mantissa_ < 0 ? -a.mantissa_ : a.mantissa_;
+        const std::int64_t abs_b = b.mantissa_ < 0 ? -b.mantissa_ : b.mantissa_;
+        mag_cmp = abs_a < abs_b ? -1 : (abs_a > abs_b ? 1 : 0);
+    }
+    return sign_a > 0 ? mag_cmp : -mag_cmp;
+}
+
+std::string IouAmount::to_string() const {
+    if (is_zero()) return "0";
+
+    const bool negative = mantissa_ < 0;
+    const std::int64_t mag = negative ? -mantissa_ : mantissa_;
+    std::string digits = std::to_string(mag);  // exactly 16 digits
+
+    // Position of the decimal point relative to the digit string.
+    const int point = static_cast<int>(digits.size()) + exponent_;
+
+    std::string body;
+    if (point > 25 || point < -5) {
+        // Extreme magnitudes: scientific notation.
+        body.push_back(digits[0]);
+        std::string frac = digits.substr(1);
+        while (!frac.empty() && frac.back() == '0') frac.pop_back();
+        if (!frac.empty()) body += "." + frac;
+        body += "e" + std::to_string(point - 1);
+    } else if (point <= 0) {
+        body = "0." + std::string(static_cast<std::size_t>(-point), '0') + digits;
+        while (body.back() == '0') body.pop_back();
+    } else if (point >= static_cast<int>(digits.size())) {
+        body = digits +
+               std::string(static_cast<std::size_t>(point) - digits.size(), '0');
+    } else {
+        body = digits.substr(0, static_cast<std::size_t>(point)) + "." +
+               digits.substr(static_cast<std::size_t>(point));
+        while (body.back() == '0') body.pop_back();
+        if (body.back() == '.') body.pop_back();
+    }
+    return negative ? "-" + body : body;
+}
+
+}  // namespace xrpl::ledger

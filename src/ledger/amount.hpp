@@ -1,0 +1,130 @@
+// Amount types.
+//
+// XrpAmount is the native currency, counted in integer drops
+// (1 XRP = 1,000,000 drops), exactly as the real ledger does.
+//
+// IouAmount reproduces the XRP Ledger's STAmount IOU semantics: a
+// decimal floating-point number with a 16-digit mantissa normalized
+// into [1e15, 1e16) and an exponent in [-96, 80]. This gives the
+// ledger's documented 10^-96 .. 10^80 range — wide enough to hold the
+// 1e22 MTL spam debt the paper observes — with exact decimal
+// rounding, which the de-anonymization study's Table I rounding
+// depends on.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "ledger/types.hpp"
+
+namespace xrpl::ledger {
+
+/// Native XRP, in drops.
+struct XrpAmount {
+    std::int64_t drops = 0;
+
+    [[nodiscard]] static XrpAmount from_xrp(double xrp) noexcept {
+        return {static_cast<std::int64_t>(xrp * 1'000'000.0)};
+    }
+    [[nodiscard]] double to_xrp() const noexcept {
+        return static_cast<double>(drops) / 1'000'000.0;
+    }
+
+    friend XrpAmount operator+(XrpAmount a, XrpAmount b) noexcept {
+        return {a.drops + b.drops};
+    }
+    friend XrpAmount operator-(XrpAmount a, XrpAmount b) noexcept {
+        return {a.drops - b.drops};
+    }
+    friend auto operator<=>(const XrpAmount&, const XrpAmount&) = default;
+};
+
+/// Decimal floating-point IOU amount (STAmount semantics).
+class IouAmount {
+public:
+    static constexpr std::int64_t kMinMantissa = 1'000'000'000'000'000;   // 1e15
+    static constexpr std::int64_t kMaxMantissa = 9'999'999'999'999'999;   // <1e16
+    static constexpr int kMinExponent = -96;
+    static constexpr int kMaxExponent = 80;
+
+    /// Zero.
+    constexpr IouAmount() noexcept = default;
+
+    /// From a (possibly unnormalized) signed mantissa and exponent.
+    /// Values whose magnitude underflows the representable range
+    /// collapse to zero; overflow saturates to the maximum magnitude.
+    [[nodiscard]] static IouAmount from_mantissa_exponent(std::int64_t mantissa,
+                                                          int exponent) noexcept;
+
+    [[nodiscard]] static IouAmount from_double(double value) noexcept;
+    [[nodiscard]] static IouAmount from_int(std::int64_t value) noexcept {
+        return from_mantissa_exponent(value, 0);
+    }
+
+    [[nodiscard]] double to_double() const noexcept;
+
+    [[nodiscard]] std::int64_t mantissa() const noexcept { return mantissa_; }
+    [[nodiscard]] int exponent() const noexcept { return exponent_; }
+
+    [[nodiscard]] bool is_zero() const noexcept { return mantissa_ == 0; }
+    [[nodiscard]] bool is_negative() const noexcept { return mantissa_ < 0; }
+
+    [[nodiscard]] IouAmount negated() const noexcept;
+    [[nodiscard]] IouAmount abs() const noexcept;
+
+    /// Exact decimal rounding to the nearest multiple of 10^power
+    /// (ties away from zero). This is the Table I rounding primitive:
+    /// round_to_power_of_ten(2) rounds to the nearest hundred,
+    /// round_to_power_of_ten(-3) to the nearest thousandth.
+    [[nodiscard]] IouAmount round_to_power_of_ten(int power) const noexcept;
+
+    /// Multiply by a scalar (used for exchange rates). Goes through
+    /// double, then renormalizes: ~15 significant digits preserved.
+    [[nodiscard]] IouAmount scaled_by(double factor) const noexcept;
+
+    friend IouAmount operator+(IouAmount a, IouAmount b) noexcept;
+    friend IouAmount operator-(IouAmount a, IouAmount b) noexcept;
+
+    [[nodiscard]] static int compare(const IouAmount& a, const IouAmount& b) noexcept;
+    friend bool operator==(const IouAmount& a, const IouAmount& b) noexcept {
+        return compare(a, b) == 0;
+    }
+    friend std::strong_ordering operator<=>(const IouAmount& a,
+                                            const IouAmount& b) noexcept {
+        const int c = compare(a, b);
+        return c < 0 ? std::strong_ordering::less
+                     : (c > 0 ? std::strong_ordering::greater
+                              : std::strong_ordering::equal);
+    }
+
+    /// Decimal rendering ("4.5", "0.00001", "1e22"-style scientific
+    /// for extreme exponents).
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    // Invariant: mantissa_ == 0, or |mantissa_| in [kMinMantissa, kMaxMantissa]
+    // and exponent_ in [kMinExponent, kMaxExponent].
+    std::int64_t mantissa_ = 0;
+    int exponent_ = 0;
+};
+
+/// A currency-tagged amount: XRP (value in XRP, not drops) or an IOU.
+struct Amount {
+    Currency currency;
+    IouAmount value;
+
+    [[nodiscard]] static Amount xrp(double xrp_value) noexcept {
+        return {Currency::xrp(), IouAmount::from_double(xrp_value)};
+    }
+    [[nodiscard]] static Amount iou(Currency c, double v) noexcept {
+        return {c, IouAmount::from_double(v)};
+    }
+    [[nodiscard]] bool is_xrp() const noexcept { return currency.is_xrp(); }
+
+    [[nodiscard]] std::string to_string() const {
+        return value.to_string() + " " + currency.to_string();
+    }
+};
+
+}  // namespace xrpl::ledger

@@ -1,0 +1,138 @@
+#include "ledger/codec.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/sha256.hpp"
+
+namespace xrpl::ledger {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 4 + 2 + 2 + 8;  // magic, ver, pad, count
+constexpr std::size_t kRecordSize = 20 + 20 + 3 + 1 + 8 + 4 + 8;  // = 64
+constexpr std::size_t kChecksumSize = 32;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_records(std::span<const TxRecord> records) {
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeaderSize + records.size() * kRecordSize + kChecksumSize);
+
+    put_u32(out, kRecordCodecMagic);
+    put_u16(out, kRecordCodecVersion);
+    put_u16(out, 0);  // padding
+    put_u64(out, records.size());
+
+    for (const TxRecord& record : records) {
+        out.insert(out.end(), record.sender.bytes.begin(),
+                   record.sender.bytes.end());
+        out.insert(out.end(), record.destination.bytes.begin(),
+                   record.destination.bytes.end());
+        for (const char c : record.currency.code) {
+            out.push_back(static_cast<std::uint8_t>(c));
+        }
+        out.push_back(0);  // padding
+        put_u64(out, static_cast<std::uint64_t>(record.amount.mantissa()));
+        put_u32(out, static_cast<std::uint32_t>(record.amount.exponent()));
+        put_u64(out, static_cast<std::uint64_t>(record.time.seconds));
+    }
+
+    const util::Sha256Digest digest = util::sha256(out);
+    out.insert(out.end(), digest.begin(), digest.end());
+    return out;
+}
+
+std::optional<std::vector<TxRecord>> decode_records(
+    std::span<const std::uint8_t> bytes) {
+    if (bytes.size() < kHeaderSize + kChecksumSize) return std::nullopt;
+
+    // Integrity first.
+    const std::span<const std::uint8_t> payload(bytes.data(),
+                                                bytes.size() - kChecksumSize);
+    const util::Sha256Digest digest = util::sha256(payload);
+    if (std::memcmp(digest.data(), bytes.data() + payload.size(),
+                    kChecksumSize) != 0) {
+        return std::nullopt;
+    }
+
+    const std::uint8_t* p = bytes.data();
+    if (get_u32(p) != kRecordCodecMagic) return std::nullopt;
+    if (get_u16(p + 4) != kRecordCodecVersion) return std::nullopt;
+    const std::uint64_t count = get_u64(p + 8);
+    if (payload.size() != kHeaderSize + count * kRecordSize) return std::nullopt;
+
+    std::vector<TxRecord> records;
+    records.reserve(count);
+    p += kHeaderSize;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TxRecord record;
+        std::memcpy(record.sender.bytes.data(), p, 20);
+        std::memcpy(record.destination.bytes.data(), p + 20, 20);
+        record.currency.code = {static_cast<char>(p[40]),
+                                static_cast<char>(p[41]),
+                                static_cast<char>(p[42])};
+        record.amount = IouAmount::from_mantissa_exponent(
+            static_cast<std::int64_t>(get_u64(p + 44)),
+            static_cast<std::int32_t>(get_u32(p + 52)));
+        record.time.seconds = static_cast<std::int64_t>(get_u64(p + 56));
+        records.push_back(record);
+        p += kRecordSize;
+    }
+    return records;
+}
+
+bool save_records(const std::string& path, std::span<const TxRecord> records) {
+    const std::vector<std::uint8_t> bytes = encode_records(records);
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file) return false;
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    return static_cast<bool>(file);
+}
+
+std::optional<std::vector<TxRecord>> load_records(const std::string& path) {
+    std::ifstream file(path, std::ios::binary | std::ios::ate);
+    if (!file) return std::nullopt;
+    const std::streamsize size = file.tellg();
+    file.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    file.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!file) return std::nullopt;
+    return decode_records(bytes);
+}
+
+}  // namespace xrpl::ledger

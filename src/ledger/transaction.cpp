@@ -1,0 +1,77 @@
+#include "ledger/transaction.hpp"
+
+#include <algorithm>
+
+#include "util/sha256.hpp"
+
+namespace xrpl::ledger {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int i = 3; i >= 0; --i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+    const auto u = static_cast<std::uint64_t>(v);
+    for (int i = 7; i >= 0; --i) {
+        out.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+    }
+}
+
+void put_account(std::vector<std::uint8_t>& out, const AccountID& id) {
+    out.insert(out.end(), id.bytes.begin(), id.bytes.end());
+}
+
+void put_currency(std::vector<std::uint8_t>& out, const Currency& c) {
+    for (const char ch : c.code) out.push_back(static_cast<std::uint8_t>(ch));
+}
+
+void put_iou(std::vector<std::uint8_t>& out, const IouAmount& v) {
+    put_i64(out, v.mantissa());
+    put_u32(out, static_cast<std::uint32_t>(v.exponent()));
+}
+
+void put_amount(std::vector<std::uint8_t>& out, const Amount& a) {
+    put_currency(out, a.currency);
+    put_iou(out, a.value);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Transaction::serialize() const {
+    std::vector<std::uint8_t> out;
+    out.reserve(128);
+    put_u8(out, static_cast<std::uint8_t>(type));
+    put_account(out, sender);
+    put_u32(out, sequence);
+    put_i64(out, submit_time.seconds);
+    put_account(out, destination);
+    put_amount(out, amount);
+    put_currency(out, source_currency);
+    put_u32(out, static_cast<std::uint32_t>(paths.size()));
+    for (const auto& path : paths) {
+        put_u32(out, static_cast<std::uint32_t>(path.size()));
+        for (const AccountID& node : path) put_account(out, node);
+    }
+    put_account(out, trust_peer);
+    put_currency(out, trust_currency);
+    put_iou(out, trust_limit);
+    put_amount(out, taker_pays);
+    put_amount(out, taker_gets);
+    return out;
+}
+
+Hash256 Transaction::id() const {
+    const auto bytes = serialize();
+    const util::Sha256Digest digest = util::sha256(bytes);
+    Hash256 h;
+    std::copy(digest.begin(), digest.end(), h.bytes.begin());
+    return h;
+}
+
+}  // namespace xrpl::ledger

@@ -1,0 +1,96 @@
+// Transactions and their execution metadata.
+//
+// The four transaction types the study needs: account creation
+// (first XRP payment activating an account), XRP/IOU payments, trust
+// set, and offer creation. Transactions are hashed (sha256 over a
+// canonical binary serialization) to produce their IDs, as in the
+// real ledger.
+//
+// TxRecord is the compact row the de-anonymization study consumes:
+// exactly the five features the paper extracts per payment —
+// sender S, amount A, timestamp T, currency C, destination D.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ledger/amount.hpp"
+#include "ledger/types.hpp"
+#include "util/ripple_time.hpp"
+
+namespace xrpl::ledger {
+
+enum class TxType : std::uint8_t {
+    kAccountCreate,
+    kPayment,
+    kTrustSet,
+    kOfferCreate,
+};
+
+/// A submitted transaction. Fields beyond (type, sender, sequence)
+/// are meaningful per type; unused ones stay default-initialized and
+/// serialize as zeros.
+struct Transaction {
+    TxType type = TxType::kPayment;
+    AccountID sender;
+    std::uint32_t sequence = 0;
+    util::RippleTime submit_time;
+
+    // Payment / AccountCreate
+    AccountID destination;
+    Amount amount;
+    /// Currency the sender pays with; differs from amount.currency in
+    /// cross-currency payments ("SendMax" currency in the real ledger).
+    Currency source_currency;
+    /// Explicit payment paths (the real ledger's "Paths" field): when
+    /// non-empty, the engine routes the amount evenly across these
+    /// node lists instead of path-finding. Each path is the full node
+    /// sequence [sender, ..., destination].
+    std::vector<std::vector<AccountID>> paths;
+
+    // TrustSet: sender declares trust of `trust_limit` towards `trust_peer`.
+    AccountID trust_peer;
+    Currency trust_currency;
+    IouAmount trust_limit;
+
+    // OfferCreate: sender offers to sell `taker_gets` for `taker_pays`.
+    Amount taker_pays;
+    Amount taker_gets;
+
+    /// Canonical binary serialization (stable across platforms).
+    [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+    /// Transaction ID: sha256 of the serialization.
+    [[nodiscard]] Hash256 id() const;
+};
+
+/// Execution outcome, filled by the payment engine / ledger apply.
+/// Carries exactly the metadata the appendix figures need.
+struct TxResult {
+    bool success = false;
+    bool cross_currency = false;
+    Amount delivered;
+    /// Number of intermediate accounts on the (longest) path used
+    /// (0 for direct transfers) — Fig 6(a).
+    std::uint32_t intermediate_hops = 0;
+    /// Number of parallel paths the payment was split across — Fig 6(b).
+    std::uint32_t parallel_paths = 0;
+    /// Whether an order book was crossed (Market Maker involved).
+    bool used_order_book = false;
+    /// Every intermediate account, across all parallel paths — Fig 7(a).
+    std::vector<AccountID> intermediaries;
+    /// Close time of the ledger page that sealed the transaction.
+    util::RippleTime close_time;
+};
+
+/// Compact payment row for the de-anonymization study: the paper's
+/// (S, A, T, C, D) feature tuple of §V-A.
+struct TxRecord {
+    AccountID sender;        // S
+    IouAmount amount;        // A
+    util::RippleTime time;   // T (ledger close time)
+    Currency currency;       // C
+    AccountID destination;   // D
+};
+
+}  // namespace xrpl::ledger

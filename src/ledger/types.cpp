@@ -1,0 +1,68 @@
+#include "ledger/types.hpp"
+
+#include <algorithm>
+
+#include "util/base58.hpp"
+#include "util/hex.hpp"
+#include "util/sha256.hpp"
+
+namespace xrpl::ledger {
+
+AccountID AccountID::from_seed(std::string_view seed) {
+    const util::Sha256Digest digest = util::sha256(seed);
+    AccountID id;
+    std::copy_n(digest.begin(), id.bytes.size(), id.bytes.begin());
+    return id;
+}
+
+bool AccountID::is_zero() const noexcept {
+    return std::all_of(bytes.begin(), bytes.end(),
+                       [](std::uint8_t b) { return b == 0; });
+}
+
+std::string AccountID::to_address() const {
+    return util::base58check_encode(util::kTokenAccountId, bytes);
+}
+
+std::string AccountID::short_display() const {
+    const std::string address = to_address();
+    if (address.size() <= 12) return address;
+    return address.substr(0, 6) + "..." + address.substr(address.size() - 6);
+}
+
+std::optional<AccountID> AccountID::from_address(std::string_view address) {
+    auto payload = util::base58check_decode(util::kTokenAccountId, address);
+    if (!payload || payload->size() != 20) return std::nullopt;
+    AccountID id;
+    std::copy(payload->begin(), payload->end(), id.bytes.begin());
+    return id;
+}
+
+Currency Currency::from_code(std::string_view code_text) noexcept {
+    Currency c;
+    for (std::size_t i = 0; i < 3; ++i) {
+        c.code[i] = i < code_text.size() ? code_text[i] : ' ';
+    }
+    return c;
+}
+
+std::string Currency::to_string() const {
+    std::string out(code.begin(), code.end());
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    return out;
+}
+
+std::string Hash256::to_hex() const {
+    return util::hex_encode(bytes);
+}
+
+std::size_t hash_bytes(const std::uint8_t* data, std::size_t size) noexcept {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+}  // namespace xrpl::ledger

@@ -1,0 +1,60 @@
+#include "node/tx_queue.hpp"
+
+#include <algorithm>
+
+namespace xrpl::node {
+
+TransactionQueue::SubmitResult TransactionQueue::submit(
+    const ledger::Transaction& tx, ledger::XrpAmount fee) {
+    if (size_ >= capacity_) return SubmitResult::kFull;
+    const ledger::Hash256 id = tx.id();
+    if (!pending_ids_.insert(id).second) return SubmitResult::kDuplicate;
+
+    per_account_[tx.sender].push_back(Entry{tx, fee, arrivals_++});
+    ++size_;
+    return SubmitResult::kQueued;
+}
+
+std::vector<ledger::Transaction> TransactionQueue::next_batch(std::size_t n) {
+    std::vector<ledger::Transaction> batch;
+    batch.reserve(std::min(n, size_));
+
+    while (batch.size() < n && size_ > 0) {
+        // Among the per-account heads, take the highest fee (oldest
+        // arrival breaks ties). Head-only release keeps each account's
+        // transactions in submission order.
+        std::deque<Entry>* best_queue = nullptr;
+        for (auto& [account, entries] : per_account_) {
+            if (entries.empty()) continue;
+            if (best_queue == nullptr ||
+                entries.front().fee.drops > best_queue->front().fee.drops ||
+                (entries.front().fee.drops == best_queue->front().fee.drops &&
+                 entries.front().arrival < best_queue->front().arrival)) {
+                best_queue = &entries;
+            }
+        }
+        if (best_queue == nullptr) break;
+
+        Entry entry = std::move(best_queue->front());
+        best_queue->pop_front();
+        --size_;
+        pending_ids_.erase(entry.tx.id());
+        batch.push_back(std::move(entry.tx));
+    }
+    return batch;
+}
+
+void TransactionQueue::requeue(const std::vector<ledger::Transaction>& batch) {
+    // Reinsert in reverse so each account's front ends up in the
+    // original relative order. Requeued transactions jump the fee
+    // queue (they were already agreed candidates once).
+    for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+        const ledger::Hash256 id = it->id();
+        if (!pending_ids_.insert(id).second) continue;
+        per_account_[it->sender].push_front(
+            Entry{*it, ledger::XrpAmount{INT64_MAX}, arrivals_++});
+        ++size_;
+    }
+}
+
+}  // namespace xrpl::node

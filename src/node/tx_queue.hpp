@@ -1,0 +1,62 @@
+// The open-ledger transaction queue.
+//
+// Pending transactions wait here between submission and the next
+// consensus round, the way rippled's open ledger does: ordered by
+// offered fee (the anti-spam economics of §III-A — "a small XRP fee
+// is collected for each transaction submitted"), with per-account
+// FIFO ordering preserved so an account's transactions apply in
+// sequence.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ledger/transaction.hpp"
+
+namespace xrpl::node {
+
+class TransactionQueue {
+public:
+    enum class SubmitResult : std::uint8_t {
+        kQueued,
+        kDuplicate,  // same transaction id already pending
+        kFull,       // queue at capacity
+    };
+
+    explicit TransactionQueue(std::size_t capacity = 10'000) noexcept
+        : capacity_(capacity) {}
+
+    /// Enqueue a transaction with the fee its sender offers.
+    SubmitResult submit(const ledger::Transaction& tx, ledger::XrpAmount fee);
+
+    /// Pop up to `n` transactions: highest offered fee first among the
+    /// releasable heads (per-account order is never violated).
+    [[nodiscard]] std::vector<ledger::Transaction> next_batch(std::size_t n);
+
+    /// Put a batch back at the FRONT of its accounts' queues (a failed
+    /// consensus round retries its candidate set). Order within the
+    /// batch is preserved.
+    void requeue(const std::vector<ledger::Transaction>& batch);
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+    struct Entry {
+        ledger::Transaction tx;
+        ledger::XrpAmount fee;
+        std::uint64_t arrival = 0;
+    };
+
+    std::size_t capacity_;
+    std::size_t size_ = 0;
+    std::uint64_t arrivals_ = 0;
+    std::unordered_map<ledger::AccountID, std::deque<Entry>> per_account_;
+    std::unordered_set<ledger::Hash256> pending_ids_;
+};
+
+}  // namespace xrpl::node

@@ -1,0 +1,126 @@
+#include "paths/order_book.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace xrpl::paths {
+
+using ledger::Amount;
+using ledger::BookKey;
+using ledger::IouAmount;
+using ledger::LedgerState;
+using ledger::Offer;
+
+std::optional<double> best_rate(const LedgerState& ledger, const BookKey& key) {
+    const auto& entries = ledger.book(key);
+    if (entries.empty()) return std::nullopt;
+    return entries.front().rate();
+}
+
+IouAmount book_depth(const LedgerState& ledger, const BookKey& key) {
+    IouAmount total;
+    for (const Offer& offer : ledger.book(key)) {
+        total = total + offer.taker_gets.value;
+    }
+    return total;
+}
+
+std::vector<Fill> plan_fills(const LedgerState& ledger, const BookKey& key,
+                             IouAmount gets_target,
+                             const std::unordered_set<ledger::AccountID>& excluded) {
+    std::vector<Fill> plan;
+    IouAmount remaining = gets_target;
+    for (const Offer& offer : ledger.book(key)) {
+        if (remaining.is_zero() || remaining.is_negative()) break;
+        if (excluded.contains(offer.owner)) continue;
+
+        const IouAmount take =
+            offer.taker_gets.value < remaining ? offer.taker_gets.value : remaining;
+        if (take.is_zero() || take.is_negative()) continue;
+
+        Fill fill;
+        fill.offer_id = offer.id;
+        fill.owner = offer.owner;
+        fill.gets = take;
+        fill.pays = take.scaled_by(offer.rate());
+        plan.push_back(fill);
+        remaining = remaining - take;
+    }
+    return plan;
+}
+
+bool consume_fill(LedgerState& ledger, const BookKey& key, const Fill& fill) {
+    auto& entries = ledger.book_mutable(key);
+    const auto it = std::find_if(entries.begin(), entries.end(),
+                                 [&](const Offer& o) { return o.id == fill.offer_id; });
+    if (it == entries.end()) return false;
+    if (it->taker_gets.value < fill.gets) return false;
+
+    it->taker_gets.value = it->taker_gets.value - fill.gets;
+    it->taker_pays.value = it->taker_pays.value - fill.pays;
+    if (it->taker_gets.value.is_zero() || it->taker_gets.value.is_negative()) {
+        entries.erase(it);
+    }
+    return true;
+}
+
+void restore_fill(LedgerState& ledger, const BookKey& key, const Fill& fill) {
+    auto& entries = ledger.book_mutable(key);
+    const auto it = std::find_if(entries.begin(), entries.end(),
+                                 [&](const Offer& o) { return o.id == fill.offer_id; });
+    if (it != entries.end()) {
+        it->taker_gets.value = it->taker_gets.value + fill.gets;
+        it->taker_pays.value = it->taker_pays.value + fill.pays;
+        return;
+    }
+    // The offer was fully consumed and removed: re-insert the restored
+    // remainder with its original id, keeping the book sorted.
+    Offer offer;
+    offer.id = fill.offer_id;
+    offer.owner = fill.owner;
+    offer.taker_pays = Amount{key.pays, fill.pays};
+    offer.taker_gets = Amount{key.gets, fill.gets};
+    const auto pos = std::upper_bound(
+        entries.begin(), entries.end(), offer,
+        [](const Offer& a, const Offer& b) { return a.rate() < b.rate(); });
+    entries.insert(pos, offer);
+}
+
+const Offer* find_offer(const LedgerState& ledger, const BookKey& key,
+                        std::uint64_t id) {
+    for (const Offer& offer : ledger.book(key)) {
+        if (offer.id == id) return &offer;
+    }
+    return nullptr;
+}
+
+void restore_offer(LedgerState& ledger, const BookKey& key, const Offer& before) {
+    auto& entries = ledger.book_mutable(key);
+    const auto it = std::find_if(entries.begin(), entries.end(),
+                                 [&](const Offer& o) { return o.id == before.id; });
+    if (it != entries.end()) {
+        *it = before;
+        return;
+    }
+    const auto pos = std::upper_bound(
+        entries.begin(), entries.end(), before,
+        [](const Offer& a, const Offer& b) { return a.rate() < b.rate(); });
+    entries.insert(pos, before);
+}
+
+std::vector<MakerShare> maker_concentration(const LedgerState& ledger) {
+    std::unordered_map<ledger::AccountID, std::size_t> counts;
+    for (const auto& [key, entries] : ledger.books()) {
+        for (const Offer& offer : entries) ++counts[offer.owner];
+    }
+    std::vector<MakerShare> out;
+    out.reserve(counts.size());
+    for (const auto& [maker, offers] : counts) out.push_back({maker, offers});
+    std::sort(out.begin(), out.end(), [](const MakerShare& a, const MakerShare& b) {
+        if (a.offers != b.offers) return a.offers > b.offers;
+        return a.maker < b.maker;
+    });
+    return out;
+}
+
+}  // namespace xrpl::paths

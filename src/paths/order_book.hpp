@@ -1,0 +1,77 @@
+// Order-book operations: quoting and crossing offers.
+//
+// Offers live in the LedgerState; this module implements the taker
+// side — walking a book best-rate-first, consuming offers (partially
+// or fully), and undoing consumption when a payment aborts. Market
+// Makers are simply the accounts that own offers (paper §III-C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "ledger/ledger.hpp"
+
+namespace xrpl::paths {
+
+/// One slice taken from an offer.
+struct Fill {
+    std::uint64_t offer_id = 0;
+    ledger::AccountID owner;          // the Market Maker
+    ledger::IouAmount pays;           // what the taker pays (book's pays currency)
+    ledger::IouAmount gets;           // what the taker receives (gets currency)
+};
+
+/// Read side: best available rate, or nullopt for an empty book.
+[[nodiscard]] std::optional<double> best_rate(const ledger::LedgerState& ledger,
+                                              const ledger::BookKey& key);
+
+/// Total `gets` liquidity in the book (ignoring rate).
+[[nodiscard]] ledger::IouAmount book_depth(const ledger::LedgerState& ledger,
+                                           const ledger::BookKey& key);
+
+/// Plan fills to obtain `gets_target` from the book, best rate first,
+/// WITHOUT mutating the book. Owners in `excluded` are skipped (the
+/// Market-Maker-removal replay). The plan may cover less than the
+/// target if liquidity runs out.
+[[nodiscard]] std::vector<Fill> plan_fills(
+    const ledger::LedgerState& ledger, const ledger::BookKey& key,
+    ledger::IouAmount gets_target,
+    const std::unordered_set<ledger::AccountID>& excluded = {});
+
+/// Apply a planned fill: shrink (or remove) the offer in the book.
+/// Returns false if the offer no longer has the planned liquidity.
+[[nodiscard]] bool consume_fill(ledger::LedgerState& ledger,
+                                const ledger::BookKey& key, const Fill& fill);
+
+/// Undo a consumed fill: restore the liquidity to the offer (re-adding
+/// the offer if it had been fully consumed). NOTE: fill.pays is the
+/// taker-side recomputation of the price, so this restore is exact
+/// only up to decimal rounding; rollback paths that must be byte-exact
+/// snapshot the offer and use restore_offer instead.
+void restore_fill(ledger::LedgerState& ledger, const ledger::BookKey& key,
+                  const Fill& fill);
+
+/// The current state of offer `id` in the book, or nullptr.
+[[nodiscard]] const ledger::Offer* find_offer(const ledger::LedgerState& ledger,
+                                              const ledger::BookKey& key,
+                                              std::uint64_t id);
+
+/// Byte-exact restore: put `before` back (overwriting the surviving
+/// entry with the same id, or re-inserting it sorted if it was fully
+/// consumed and removed).
+void restore_offer(ledger::LedgerState& ledger, const ledger::BookKey& key,
+                   const ledger::Offer& before);
+
+/// The distinct owners (Market Makers) quoting in any book, ranked by
+/// number of offers placed — the paper's "50% of offers come from 10
+/// Market Makers" concentration analysis.
+struct MakerShare {
+    ledger::AccountID maker;
+    std::size_t offers = 0;
+};
+[[nodiscard]] std::vector<MakerShare> maker_concentration(
+    const ledger::LedgerState& ledger);
+
+}  // namespace xrpl::paths

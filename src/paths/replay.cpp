@@ -1,0 +1,38 @@
+#include "paths/replay.hpp"
+
+namespace xrpl::paths {
+
+ReplayStats replay(PaymentEngine& engine, std::span<const PaymentRequest> payments) {
+    ReplayStats stats;
+    for (const PaymentRequest& request : payments) {
+        const bool cross = request.cross_currency();
+        if (cross) {
+            ++stats.cross_submitted;
+        } else {
+            ++stats.single_submitted;
+        }
+        const ledger::TxResult result = engine.execute(request);
+        if (result.success) {
+            if (cross) {
+                ++stats.cross_delivered;
+            } else {
+                ++stats.single_delivered;
+            }
+        }
+    }
+    return stats;
+}
+
+ReplayStats replay_without(PaymentEngine& engine,
+                           std::span<const PaymentRequest> payments,
+                           std::span<const ledger::AccountID> accounts,
+                           bool remove_all_offers) {
+    for (const ledger::AccountID& account : accounts) {
+        engine.graph().exclude(account);
+        engine.ledger().remove_offers_of(account);
+    }
+    if (remove_all_offers) engine.ledger().clear_all_offers();
+    return replay(engine, payments);
+}
+
+}  // namespace xrpl::paths

@@ -1,0 +1,63 @@
+// Replay harness — the paper's Market-Maker-removal experiment.
+//
+// Table II: take a stable snapshot of the network, replay six months
+// of recorded payments against it, then repeat with every Market
+// Maker (and all exchange offers) removed, "carefully handling user
+// balances by updating them after each successful payment". The
+// harness mirrors that: payments execute through the real engine, so
+// balances, trust-line debt, and offer consumption all evolve.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "paths/payment_engine.hpp"
+
+namespace xrpl::paths {
+
+/// Delivery counts split the way Table II reports them.
+struct ReplayStats {
+    std::uint64_t cross_submitted = 0;
+    std::uint64_t cross_delivered = 0;
+    std::uint64_t single_submitted = 0;
+    std::uint64_t single_delivered = 0;
+
+    [[nodiscard]] std::uint64_t submitted() const noexcept {
+        return cross_submitted + single_submitted;
+    }
+    [[nodiscard]] std::uint64_t delivered() const noexcept {
+        return cross_delivered + single_delivered;
+    }
+    [[nodiscard]] double cross_rate() const noexcept {
+        return cross_submitted == 0
+                   ? 0.0
+                   : static_cast<double>(cross_delivered) /
+                         static_cast<double>(cross_submitted);
+    }
+    [[nodiscard]] double single_rate() const noexcept {
+        return single_submitted == 0
+                   ? 0.0
+                   : static_cast<double>(single_delivered) /
+                         static_cast<double>(single_submitted);
+    }
+    [[nodiscard]] double total_rate() const noexcept {
+        return submitted() == 0 ? 0.0
+                                : static_cast<double>(delivered()) /
+                                      static_cast<double>(submitted());
+    }
+};
+
+/// Replay `payments` in order through `engine`, tallying Table II stats.
+[[nodiscard]] ReplayStats replay(PaymentEngine& engine,
+                                 std::span<const PaymentRequest> payments);
+
+/// Remove `accounts` from the network seen by `engine` — exclude them
+/// from path finding and delete their offers — then replay. When
+/// `remove_all_offers` is set every offer is deleted (the paper removes
+/// "them and the exchange orders from the system").
+[[nodiscard]] ReplayStats replay_without(PaymentEngine& engine,
+                                         std::span<const PaymentRequest> payments,
+                                         std::span<const ledger::AccountID> accounts,
+                                         bool remove_all_offers);
+
+}  // namespace xrpl::paths

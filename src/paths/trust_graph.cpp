@@ -1,0 +1,4 @@
+#include "paths/trust_graph.hpp"
+
+// TrustGraph is header-only (template members); this translation unit
+// exists so the build file mirrors the module inventory in DESIGN.md.

@@ -1,0 +1,89 @@
+// A search view over the ledger's trust lines.
+//
+// The path finder sees the network through this class: per-account
+// neighbor enumeration filtered by currency and positive capacity,
+// plus an exclusion set used by the replay harness to simulate
+// removed accounts (the paper's Market-Maker-removal experiment,
+// Table II) without destroying ledger state.
+#pragma once
+
+#include <unordered_set>
+
+#include "ledger/ledger.hpp"
+
+namespace xrpl::paths {
+
+class TrustGraph {
+public:
+    explicit TrustGraph(const ledger::LedgerState& ledger) noexcept
+        : ledger_(&ledger) {}
+
+    /// Mark an account as removed: it will not be offered as a
+    /// neighbor, endpoint checks are the caller's job.
+    void exclude(const ledger::AccountID& account) { excluded_.insert(account); }
+    void clear_exclusions() noexcept { excluded_.clear(); }
+    [[nodiscard]] bool is_excluded(const ledger::AccountID& account) const {
+        return excluded_.contains(account);
+    }
+    [[nodiscard]] std::size_t exclusion_count() const noexcept {
+        return excluded_.size();
+    }
+    [[nodiscard]] const std::unordered_set<ledger::AccountID>& exclusions()
+        const noexcept {
+        return excluded_;
+    }
+
+    /// Invoke `fn(peer, line)` for every neighbor reachable from
+    /// `from` over a `currency` trust line with positive capacity in
+    /// the from->peer direction. Excluded peers are skipped.
+    template <typename Fn>
+    void for_each_neighbor(const ledger::AccountID& from, ledger::Currency currency,
+                           Fn&& fn) const {
+        for (const ledger::TrustLine* line : ledger_->lines_of(from)) {
+            if (line->key().currency != currency) continue;
+            const ledger::AccountID& peer = line->peer_of(from);
+            if (is_excluded(peer)) continue;
+            if (line->capacity_from(from).is_zero() ||
+                line->capacity_from(from).is_negative()) {
+                continue;
+            }
+            fn(peer, line);
+        }
+    }
+
+    /// Degree of `from` in `currency` counting only positive-capacity,
+    /// non-excluded edges. Used to pick which frontier to expand in
+    /// the bidirectional search.
+    [[nodiscard]] std::size_t out_degree(const ledger::AccountID& from,
+                                         ledger::Currency currency) const {
+        std::size_t n = 0;
+        for_each_neighbor(from, currency,
+                          [&](const ledger::AccountID&, const ledger::TrustLine*) { ++n; });
+        return n;
+    }
+
+    /// Neighbors in the reverse direction: peers that can send TO
+    /// `to` over a positive-capacity `currency` line.
+    template <typename Fn>
+    void for_each_in_neighbor(const ledger::AccountID& to, ledger::Currency currency,
+                              Fn&& fn) const {
+        for (const ledger::TrustLine* line : ledger_->lines_of(to)) {
+            if (line->key().currency != currency) continue;
+            const ledger::AccountID& peer = line->peer_of(to);
+            if (is_excluded(peer)) continue;
+            if (line->capacity_from(peer).is_zero() ||
+                line->capacity_from(peer).is_negative()) {
+                continue;
+            }
+            fn(peer, line);
+        }
+    }
+
+    [[nodiscard]] const ledger::LedgerState& ledger() const noexcept { return *ledger_; }
+
+private:
+    const ledger::LedgerState* ledger_;
+    std::unordered_set<ledger::AccountID> excluded_;
+};
+
+}  // namespace xrpl::paths

@@ -1,0 +1,106 @@
+#include "paths/widest_path.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace xrpl::paths {
+
+namespace {
+
+using ledger::AccountID;
+using ledger::IouAmount;
+
+struct NodeLabel {
+    IouAmount best;         // widest bottleneck found so far
+    std::uint32_t parent = 0;
+    std::uint8_t depth = 0;
+    bool settled = false;
+    bool seen = false;
+};
+
+struct QueueEntry {
+    IouAmount bottleneck;
+    std::uint32_t index;
+
+    bool operator<(const QueueEntry& other) const noexcept {
+        // priority_queue is a max-heap on operator<.
+        return bottleneck < other.bottleneck;
+    }
+};
+
+}  // namespace
+
+std::optional<TrustPath> WidestPathFinder::find(const TrustGraph& graph,
+                                                const AccountID& from,
+                                                const AccountID& to,
+                                                ledger::Currency currency) {
+    const ledger::LedgerState& ledger = graph.ledger();
+    const ledger::AccountRoot* src = ledger.account(from);
+    const ledger::AccountRoot* dst = ledger.account(to);
+    if (src == nullptr || dst == nullptr || from == to) return std::nullopt;
+    if (graph.is_excluded(from) || graph.is_excluded(to)) return std::nullopt;
+
+    std::unordered_map<std::uint32_t, NodeLabel> labels;
+    std::priority_queue<QueueEntry> frontier;
+
+    NodeLabel& origin = labels[src->index];
+    origin.best = IouAmount::from_double(1e90);  // effectively infinite
+    origin.parent = src->index;
+    origin.seen = true;
+    frontier.push(QueueEntry{origin.best, src->index});
+
+    std::size_t visited = 0;
+    while (!frontier.empty()) {
+        const QueueEntry top = frontier.top();
+        frontier.pop();
+        NodeLabel& label = labels[top.index];
+        if (label.settled) continue;
+        if (!(top.bottleneck == label.best)) continue;  // stale entry
+        label.settled = true;
+        if (top.index == dst->index) break;
+        if (++visited > config_.max_visited) return std::nullopt;
+        if (label.depth >= config_.max_intermediate_hops + 1) continue;
+
+        const AccountID& node = ledger.account_by_index(top.index);
+        graph.for_each_neighbor(
+            node, currency,
+            [&](const AccountID& peer, const ledger::TrustLine* line) {
+                const ledger::AccountRoot* peer_root = ledger.account(peer);
+                if (peer_root == nullptr) return;
+                if (!peer_root->allows_rippling && !(peer == to)) return;
+                const IouAmount edge = line->capacity_from(node);
+                const IouAmount bottleneck =
+                    edge < label.best ? edge : label.best;
+                if (bottleneck.is_zero() || bottleneck.is_negative()) return;
+                NodeLabel& peer_label = labels[peer_root->index];
+                if (peer_label.settled) return;
+                if (!peer_label.seen || peer_label.best < bottleneck) {
+                    peer_label.seen = true;
+                    peer_label.best = bottleneck;
+                    peer_label.parent = top.index;
+                    peer_label.depth = static_cast<std::uint8_t>(label.depth + 1);
+                    frontier.push(QueueEntry{bottleneck, peer_root->index});
+                }
+            });
+    }
+
+    const auto it = labels.find(dst->index);
+    if (it == labels.end() || !it->second.seen) return std::nullopt;
+
+    TrustPath path;
+    path.capacity = it->second.best;
+    std::uint32_t cursor = dst->index;
+    while (true) {
+        path.nodes.push_back(ledger.account_by_index(cursor));
+        const NodeLabel& label = labels.at(cursor);
+        if (label.parent == cursor) break;
+        cursor = label.parent;
+    }
+    std::reverse(path.nodes.begin(), path.nodes.end());
+    if (path.nodes.front() != from || path.nodes.back() != to) return std::nullopt;
+    if (path.nodes.size() - 2 > config_.max_intermediate_hops) return std::nullopt;
+    return path;
+}
+
+}  // namespace xrpl::paths

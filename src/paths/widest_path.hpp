@@ -1,0 +1,36 @@
+// Widest-path search — the ablation partner of the BFS finder.
+//
+// PathFinder returns a SHORTEST positive-capacity path; this finder
+// returns the path with the MAXIMUM bottleneck capacity (bounded by
+// the same hop cap), a Dijkstra variant ordered by bottleneck. Wider
+// paths move more value per path, so payments need fewer parallel
+// paths at the cost of longer routes — the trade the
+// `micro_benchmarks` ablation and DESIGN.md §6 examine.
+#pragma once
+
+#include <optional>
+
+#include "paths/path_finder.hpp"
+
+namespace xrpl::paths {
+
+class WidestPathFinder {
+public:
+    explicit WidestPathFinder(PathFinderConfig config = {}) noexcept
+        : config_(config) {}
+
+    /// The positive-capacity path from `from` to `to` in `currency`
+    /// maximizing the bottleneck, or nullopt. Honors graph exclusions
+    /// and DefaultRipple exactly like PathFinder.
+    [[nodiscard]] std::optional<TrustPath> find(const TrustGraph& graph,
+                                                const ledger::AccountID& from,
+                                                const ledger::AccountID& to,
+                                                ledger::Currency currency);
+
+    [[nodiscard]] const PathFinderConfig& config() const noexcept { return config_; }
+
+private:
+    PathFinderConfig config_;
+};
+
+}  // namespace xrpl::paths

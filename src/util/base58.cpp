@@ -1,0 +1,108 @@
+#include "util/base58.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/sha256.hpp"
+
+namespace xrpl::util {
+
+namespace {
+
+// Reverse lookup table: character -> digit value, or -1.
+constexpr std::array<int, 256> make_reverse_table() {
+    std::array<int, 256> table{};
+    for (auto& v : table) v = -1;
+    for (std::size_t i = 0; i < kRippleAlphabet.size(); ++i) {
+        table[static_cast<unsigned char>(kRippleAlphabet[i])] = static_cast<int>(i);
+    }
+    return table;
+}
+
+constexpr std::array<int, 256> kReverse = make_reverse_table();
+
+}  // namespace
+
+std::string base58_encode(std::span<const std::uint8_t> data) {
+    // Count leading zero bytes; each maps to the alphabet's zero digit.
+    std::size_t zeros = 0;
+    while (zeros < data.size() && data[zeros] == 0) ++zeros;
+
+    // Big-number base conversion, digits accumulated little-endian.
+    std::vector<std::uint8_t> digits;
+    digits.reserve(data.size() * 138 / 100 + 1);
+    for (std::size_t i = zeros; i < data.size(); ++i) {
+        int carry = data[i];
+        for (auto& digit : digits) {
+            carry += digit << 8;
+            digit = static_cast<std::uint8_t>(carry % 58);
+            carry /= 58;
+        }
+        while (carry > 0) {
+            digits.push_back(static_cast<std::uint8_t>(carry % 58));
+            carry /= 58;
+        }
+    }
+
+    std::string out;
+    out.reserve(zeros + digits.size());
+    out.append(zeros, kRippleAlphabet[0]);
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        out.push_back(kRippleAlphabet[*it]);
+    }
+    return out;
+}
+
+std::optional<std::vector<std::uint8_t>> base58_decode(std::string_view text) {
+    std::size_t zeros = 0;
+    while (zeros < text.size() && text[zeros] == kRippleAlphabet[0]) ++zeros;
+
+    std::vector<std::uint8_t> bytes;  // little-endian accumulator
+    bytes.reserve(text.size() * 733 / 1000 + 1);
+    for (std::size_t i = zeros; i < text.size(); ++i) {
+        const int value = kReverse[static_cast<unsigned char>(text[i])];
+        if (value < 0) return std::nullopt;
+        int carry = value;
+        for (auto& b : bytes) {
+            carry += b * 58;
+            b = static_cast<std::uint8_t>(carry & 0xff);
+            carry >>= 8;
+        }
+        while (carry > 0) {
+            bytes.push_back(static_cast<std::uint8_t>(carry & 0xff));
+            carry >>= 8;
+        }
+    }
+
+    std::vector<std::uint8_t> out(zeros, 0);
+    out.insert(out.end(), bytes.rbegin(), bytes.rend());
+    return out;
+}
+
+std::string base58check_encode(std::uint8_t type_prefix,
+                               std::span<const std::uint8_t> payload) {
+    std::vector<std::uint8_t> buffer;
+    buffer.reserve(1 + payload.size() + 4);
+    buffer.push_back(type_prefix);
+    buffer.insert(buffer.end(), payload.begin(), payload.end());
+    const Sha256Digest checksum = sha256d(buffer);
+    buffer.insert(buffer.end(), checksum.begin(), checksum.begin() + 4);
+    return base58_encode(buffer);
+}
+
+std::optional<std::vector<std::uint8_t>> base58check_decode(
+    std::uint8_t expected_type_prefix, std::string_view text) {
+    auto decoded = base58_decode(text);
+    if (!decoded || decoded->size() < 5) return std::nullopt;
+    auto& bytes = *decoded;
+    if (bytes.front() != expected_type_prefix) return std::nullopt;
+
+    const std::span<const std::uint8_t> body(bytes.data(), bytes.size() - 4);
+    const Sha256Digest checksum = sha256d(body);
+    if (!std::equal(checksum.begin(), checksum.begin() + 4, bytes.end() - 4)) {
+        return std::nullopt;
+    }
+    return std::vector<std::uint8_t>(bytes.begin() + 1, bytes.end() - 4);
+}
+
+}  // namespace xrpl::util

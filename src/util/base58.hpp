@@ -1,0 +1,44 @@
+// Base58 and base58check codecs using the Ripple alphabet.
+//
+// Ripple account addresses are 20-byte account IDs wrapped in
+// base58check: prepend a one-byte type prefix (0x00 for accounts,
+// 0x1c for validator node public keys rendered as "n..." strings),
+// append the first four bytes of sha256d(prefix || payload), and
+// base58-encode the whole thing with Ripple's custom alphabet
+// (which starts with 'r' — hence account addresses start with "r").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xrpl::util {
+
+/// Ripple's base58 dictionary (not Bitcoin's!).
+inline constexpr std::string_view kRippleAlphabet =
+    "rpshnaf39wBUDNEGHJKLM4PQRST7VWXYZ2bcdeCg65jkm8oFqi1tuvAxyz";
+
+/// Type prefix for account IDs ("r..." addresses).
+inline constexpr std::uint8_t kTokenAccountId = 0x00;
+/// Type prefix for node public keys ("n..." validator keys).
+inline constexpr std::uint8_t kTokenNodePublic = 0x1c;
+
+/// Raw base58 encode (no checksum, no prefix).
+[[nodiscard]] std::string base58_encode(std::span<const std::uint8_t> data);
+
+/// Raw base58 decode. Returns nullopt on characters outside the alphabet.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> base58_decode(std::string_view text);
+
+/// Encode `payload` as base58check with the given type prefix.
+[[nodiscard]] std::string base58check_encode(std::uint8_t type_prefix,
+                                             std::span<const std::uint8_t> payload);
+
+/// Decode a base58check string. Returns the payload (prefix and
+/// checksum stripped) or nullopt if the checksum or prefix mismatches.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> base58check_decode(
+    std::uint8_t expected_type_prefix, std::string_view text);
+
+}  // namespace xrpl::util

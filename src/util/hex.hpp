@@ -1,0 +1,20 @@
+// Hex encoding/decoding helpers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xrpl::util {
+
+/// Lowercase hex rendering of a byte span.
+[[nodiscard]] std::string hex_encode(std::span<const std::uint8_t> data);
+
+/// Parse a hex string (case-insensitive). Returns nullopt on malformed
+/// input (odd length or non-hex characters).
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> hex_decode(std::string_view text);
+
+}  // namespace xrpl::util

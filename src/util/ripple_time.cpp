@@ -1,0 +1,110 @@
+#include "util/ripple_time.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace xrpl::util {
+
+namespace {
+
+constexpr std::array<int, 12> kDaysPerMonth = {31, 28, 31, 30, 31, 30,
+                                               31, 31, 30, 31, 30, 31};
+
+constexpr bool is_leap(int year) noexcept {
+    return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+constexpr int days_in_month(int year, int month) noexcept {
+    if (month == 2 && is_leap(year)) return 29;
+    return kDaysPerMonth[static_cast<std::size_t>(month - 1)];
+}
+
+struct Calendar {
+    int year, month, day, hour, minute, second;
+};
+
+Calendar to_calendar(RippleTime t) noexcept {
+    std::int64_t s = t.seconds;
+    // Clamp pre-epoch times to the epoch; the study never needs them.
+    if (s < 0) s = 0;
+    const auto days_total = s / 86400;
+    std::int64_t rem = s % 86400;
+
+    Calendar c{};
+    c.hour = static_cast<int>(rem / 3600);
+    rem %= 3600;
+    c.minute = static_cast<int>(rem / 60);
+    c.second = static_cast<int>(rem % 60);
+
+    int year = 2000;
+    std::int64_t days = days_total;
+    while (true) {
+        const int year_days = is_leap(year) ? 366 : 365;
+        if (days < year_days) break;
+        days -= year_days;
+        ++year;
+    }
+    int month = 1;
+    while (days >= days_in_month(year, month)) {
+        days -= days_in_month(year, month);
+        ++month;
+    }
+    c.year = year;
+    c.month = month;
+    c.day = static_cast<int>(days) + 1;
+    return c;
+}
+
+}  // namespace
+
+RippleTime truncate(RippleTime t, TimeResolution res) noexcept {
+    switch (res) {
+        case TimeResolution::kSeconds: return t;
+        case TimeResolution::kMinutes: return {t.seconds - t.seconds % 60};
+        case TimeResolution::kHours: return {t.seconds - t.seconds % 3600};
+        case TimeResolution::kDays: return {t.seconds - t.seconds % 86400};
+    }
+    return t;
+}
+
+std::int64_t to_unix(RippleTime t) noexcept { return t.seconds + kRippleEpochOffset; }
+
+RippleTime from_unix(std::int64_t unix_seconds) noexcept {
+    return {unix_seconds - kRippleEpochOffset};
+}
+
+RippleTime from_calendar(int year, int month, int day, int hour, int minute,
+                         int second) noexcept {
+    std::int64_t days = 0;
+    for (int y = 2000; y < year; ++y) days += is_leap(y) ? 366 : 365;
+    for (int m = 1; m < month; ++m) days += days_in_month(year, m);
+    days += day - 1;
+    return {days * 86400 + hour * 3600 + minute * 60 + second};
+}
+
+std::string format(RippleTime t) {
+    const Calendar c = to_calendar(t);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", c.year,
+                  c.month, c.day, c.hour, c.minute, c.second);
+    return buf;
+}
+
+std::string format_date(RippleTime t) {
+    const Calendar c = to_calendar(t);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+    return buf;
+}
+
+const char* resolution_label(TimeResolution res) noexcept {
+    switch (res) {
+        case TimeResolution::kSeconds: return "sc";
+        case TimeResolution::kMinutes: return "mn";
+        case TimeResolution::kHours: return "hr";
+        case TimeResolution::kDays: return "dy";
+    }
+    return "?";
+}
+
+}  // namespace xrpl::util

@@ -1,0 +1,55 @@
+// Ripple epoch time.
+//
+// The XRP ledger timestamps everything in seconds since the Ripple
+// epoch, 2000-01-01T00:00:00Z (946684800 Unix). Transactions inherit
+// the close time of the ledger page that sealed them — this is the
+// `T` feature of the de-anonymization study, and its truncation to
+// minutes/hours/days is one of the paper's resolution knobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xrpl::util {
+
+/// Seconds between the Unix epoch and the Ripple epoch.
+inline constexpr std::int64_t kRippleEpochOffset = 946684800;
+
+/// A timestamp in seconds since the Ripple epoch.
+struct RippleTime {
+    std::int64_t seconds = 0;
+
+    friend auto operator<=>(const RippleTime&, const RippleTime&) = default;
+};
+
+/// Time resolution used when coarsening the timestamp feature
+/// (Fig 3: T_sc, T_mn, T_hr, T_dy).
+enum class TimeResolution {
+    kSeconds,
+    kMinutes,
+    kHours,
+    kDays,
+};
+
+/// Truncate `t` downward to the given resolution.
+[[nodiscard]] RippleTime truncate(RippleTime t, TimeResolution res) noexcept;
+
+/// Convert to/from Unix seconds.
+[[nodiscard]] std::int64_t to_unix(RippleTime t) noexcept;
+[[nodiscard]] RippleTime from_unix(std::int64_t unix_seconds) noexcept;
+
+/// Build a RippleTime from a UTC calendar date/time.
+/// Valid for dates in [2000, 2100); no leap seconds.
+[[nodiscard]] RippleTime from_calendar(int year, int month, int day, int hour = 0,
+                                       int minute = 0, int second = 0) noexcept;
+
+/// Render as "YYYY-MM-DD HH:MM:SS" (UTC).
+[[nodiscard]] std::string format(RippleTime t);
+
+/// Short form "YYYY-MM-DD".
+[[nodiscard]] std::string format_date(RippleTime t);
+
+/// Name suitable for output labels: "sc", "mn", "hr", "dy".
+[[nodiscard]] const char* resolution_label(TimeResolution res) noexcept;
+
+}  // namespace xrpl::util

@@ -1,0 +1,130 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+namespace xrpl::util {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() noexcept {
+    const std::uint64_t result = std::rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = std::rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+    const std::uint64_t range = hi - lo;  // inclusive width - 1
+    if (range == ~std::uint64_t{0}) return next();
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t bound = range + 1;
+    const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % bound;
+    std::uint64_t value = next();
+    while (value >= limit) value = next();
+    return lo + value % bound;
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo);
+    return lo + static_cast<std::int64_t>(uniform_u64(0, span));
+}
+
+double Rng::uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+}
+
+double Rng::exponential(double mean) noexcept {
+    double u = uniform01();
+    while (u <= 0.0) u = uniform01();
+    return -mean * std::log(u);
+}
+
+double Rng::normal(double mu, double sigma) noexcept {
+    double u1 = uniform01();
+    while (u1 <= 0.0) u1 = uniform01();
+    const double u2 = uniform01();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * std::numbers::pi * u2);
+    return mu + sigma * z;
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double x_min, double alpha) noexcept {
+    double u = uniform01();
+    while (u <= 0.0) u = uniform01();
+    return x_min / std::pow(u, 1.0 / alpha);
+}
+
+Rng Rng::fork() noexcept { return Rng(next()); }
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+        cdf_[i] = total;
+    }
+    for (auto& v : cdf_) v /= total;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+CategoricalSampler::CategoricalSampler(std::span<const double> weights) {
+    cdf_.resize(weights.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        total += std::max(0.0, weights[i]);
+        cdf_[i] = total;
+    }
+    if (total > 0.0) {
+        for (auto& v : cdf_) v /= total;
+    }
+}
+
+std::size_t CategoricalSampler::sample(Rng& rng) const noexcept {
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace xrpl::util

@@ -1,0 +1,85 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// xoshiro256++ seeded via splitmix64, plus the distributions the
+// workload generators need (uniform, bernoulli, exponential,
+// lognormal, pareto, zipf, categorical). Every experiment in this
+// repository takes a seed, so bench output is bit-stable across runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace xrpl::util {
+
+/// xoshiro256++ PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed) noexcept;
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+    result_type operator()() noexcept { return next(); }
+    std::uint64_t next() noexcept;
+
+    /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+    std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept;
+    std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi) noexcept;
+
+    /// Uniform double in [0, 1).
+    double uniform01() noexcept;
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept;
+
+    /// True with probability p (clamped to [0,1]).
+    bool bernoulli(double p) noexcept;
+
+    /// Exponential with the given mean (mean > 0).
+    double exponential(double mean) noexcept;
+
+    /// Standard normal via Box-Muller.
+    double normal(double mu, double sigma) noexcept;
+
+    /// Log-normal: exp(normal(mu, sigma)).
+    double lognormal(double mu, double sigma) noexcept;
+
+    /// Pareto with scale x_min > 0 and shape alpha > 0.
+    double pareto(double x_min, double alpha) noexcept;
+
+    /// Fork a new, independent generator (for parallel sub-streams).
+    Rng fork() noexcept;
+
+private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+/// Zipf(α) sampler over {0, 1, ..., n-1} with precomputed CDF.
+/// Rank 0 is the most popular element.
+class ZipfSampler {
+public:
+    ZipfSampler(std::size_t n, double alpha);
+
+    [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+    [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+private:
+    std::vector<double> cdf_;
+};
+
+/// Categorical sampler from explicit (unnormalized) weights.
+class CategoricalSampler {
+public:
+    explicit CategoricalSampler(std::span<const double> weights);
+
+    [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+    [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+private:
+    std::vector<double> cdf_;
+};
+
+}  // namespace xrpl::util

@@ -1,0 +1,62 @@
+// SHA-256 implemented from scratch (FIPS 180-4).
+//
+// Used for ledger page hashes, transaction IDs, and Ripple
+// base58check address checksums. Streaming interface plus one-shot
+// helpers.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace xrpl::util {
+
+/// A 32-byte SHA-256 digest.
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+///
+/// Usage:
+///   Sha256 h;
+///   h.update(bytes_a);
+///   h.update(bytes_b);
+///   Sha256Digest d = h.finish();
+///
+/// After finish() the hasher must not be reused; construct a new one.
+class Sha256 {
+public:
+    Sha256() noexcept;
+
+    /// Absorb `data` into the hash state.
+    void update(std::span<const std::uint8_t> data) noexcept;
+    /// Convenience overload for text.
+    void update(std::string_view text) noexcept;
+
+    /// Pad, finalize, and return the digest.
+    [[nodiscard]] Sha256Digest finish() noexcept;
+
+private:
+    void process_block(const std::uint8_t* block) noexcept;
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::size_t buffer_len_ = 0;
+    std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot hash of a byte span.
+[[nodiscard]] Sha256Digest sha256(std::span<const std::uint8_t> data) noexcept;
+
+/// One-shot hash of text.
+[[nodiscard]] Sha256Digest sha256(std::string_view text) noexcept;
+
+/// sha256(sha256(data)) — Ripple/Bitcoin "hash256" used for checksums.
+[[nodiscard]] Sha256Digest sha256d(std::span<const std::uint8_t> data) noexcept;
+
+/// Lowercase hex rendering of a digest.
+[[nodiscard]] std::string to_hex(const Sha256Digest& digest);
+
+}  // namespace xrpl::util

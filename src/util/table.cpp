@@ -1,0 +1,82 @@
+#include "util/table.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace xrpl::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+    alignment_.assign(header_.size(), Align::kRight);
+    if (!alignment_.empty()) alignment_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    if (row.size() != header_.size()) {
+        throw std::invalid_argument("TextTable: row arity mismatch");
+    }
+    rows_.push_back(std::move(row));
+}
+
+void TextTable::set_alignment(std::vector<Align> alignment) {
+    if (alignment.size() != header_.size()) {
+        throw std::invalid_argument("TextTable: alignment arity mismatch");
+    }
+    alignment_ = std::move(alignment);
+}
+
+void TextTable::render(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const std::size_t pad = widths[c] - row[c].size();
+            if (alignment_[c] == Align::kRight) os << std::string(pad, ' ');
+            os << row[c];
+            if (alignment_[c] == Align::kLeft) os << std::string(pad, ' ');
+            os << (c + 1 == row.size() ? "" : "  ");
+        }
+        os << '\n';
+    };
+
+    emit(header_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) total += w + 2;
+    os << std::string(total >= 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+}
+
+std::string format_count(std::uint64_t n) {
+    std::string digits = std::to_string(n);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    int counter = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (counter != 0 && counter % 3 == 0) out.push_back(',');
+        out.push_back(*it);
+        ++counter;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+std::string format_percent(double fraction) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+    return buf;
+}
+
+std::string format_double(double v, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+}  // namespace xrpl::util

@@ -1,0 +1,45 @@
+// Plain-text table rendering for bench output.
+//
+// Every figure/table bench prints its series through this, so the
+// output format is uniform: aligned columns, optional title and
+// footer lines (used for the "paper:" reference values).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xrpl::util {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// A simple text table. Add a header, then rows; render to a stream.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /// Append a row; must have the same arity as the header.
+    void add_row(std::vector<std::string> row);
+
+    /// Set per-column alignment (default: first column left, rest right).
+    void set_alignment(std::vector<Align> alignment);
+
+    /// Render with single-space-padded columns and a rule under the header.
+    void render(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<Align> alignment_;
+};
+
+/// Format helpers used across benches.
+[[nodiscard]] std::string format_count(std::uint64_t n);      // "1,234,567"
+[[nodiscard]] std::string format_percent(double fraction);    // "99.83%"
+[[nodiscard]] std::string format_double(double v, int digits);
+
+}  // namespace xrpl::util

@@ -1,0 +1,95 @@
+#include "util/textplot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace xrpl::util {
+
+namespace {
+
+double bar_measure(double value, bool log_scale) noexcept {
+    if (value <= 0.0) return 0.0;
+    return log_scale ? std::log10(1.0 + value) : value;
+}
+
+std::string make_bar(double value, double max_measure, bool log_scale,
+                     int width, char fill) {
+    if (max_measure <= 0.0) return {};
+    const double measure = bar_measure(value, log_scale);
+    const int len = static_cast<int>(std::lround(measure / max_measure * width));
+    return std::string(static_cast<std::size_t>(std::clamp(len, 0, width)), fill);
+}
+
+std::string format_value(double v) {
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        return format_count(static_cast<std::uint64_t>(std::max(0.0, v)));
+    }
+    return format_double(v, 4);
+}
+
+}  // namespace
+
+void render_bar_chart(std::ostream& os, const std::vector<Bar>& bars,
+                      const BarChartOptions& options) {
+    double max_measure = 0.0;
+    for (const Bar& b : bars) {
+        max_measure = std::max(max_measure, bar_measure(b.value, options.log_scale));
+        if (b.secondary >= 0.0) {
+            max_measure =
+                std::max(max_measure, bar_measure(b.secondary, options.log_scale));
+        }
+    }
+
+    const bool two_series = !options.secondary_header.empty();
+    std::vector<std::string> header = {"label", options.value_header};
+    if (two_series) header.push_back(options.secondary_header);
+    header.push_back(options.log_scale ? "bar(log)" : "bar");
+
+    TextTable table(header);
+    std::vector<Align> align(header.size(), Align::kRight);
+    align.front() = Align::kLeft;
+    align.back() = Align::kLeft;
+    table.set_alignment(std::move(align));
+
+    for (const Bar& b : bars) {
+        std::vector<std::string> row = {b.label, format_value(b.value)};
+        if (two_series) {
+            row.push_back(b.secondary >= 0.0 ? format_value(b.secondary) : "-");
+        }
+        std::string bar = make_bar(b.value, max_measure, options.log_scale,
+                                   options.width, '#');
+        if (two_series && b.secondary >= 0.0) {
+            // Overlay the secondary series with '=' up to its length.
+            const std::string sec = make_bar(b.secondary, max_measure,
+                                             options.log_scale, options.width, '=');
+            for (std::size_t i = 0; i < sec.size() && i < bar.size(); ++i) bar[i] = '=';
+            if (sec.size() > bar.size()) bar = sec;
+        }
+        row.push_back(std::move(bar));
+        table.add_row(std::move(row));
+    }
+    table.render(os);
+    if (two_series) {
+        os << "('=' marks the " << options.secondary_header << " series)\n";
+    }
+}
+
+void render_series(std::ostream& os, const std::string& x_name,
+                   const std::string& y_name,
+                   const std::vector<SeriesPoint>& points, bool log_scale) {
+    std::vector<Bar> bars;
+    bars.reserve(points.size());
+    for (const SeriesPoint& p : points) {
+        bars.push_back(Bar{format_value(p.x), p.y, -1.0});
+    }
+    BarChartOptions options;
+    options.log_scale = log_scale;
+    options.value_header = y_name;
+    os << x_name << " vs " << y_name << ":\n";
+    render_bar_chart(os, bars, options);
+}
+
+}  // namespace xrpl::util

@@ -1,0 +1,49 @@
+// ASCII bar charts for bench output.
+//
+// The paper's figures are bar charts and CDF-style curves; the bench
+// binaries render them as horizontal bar plots (optionally on a log
+// scale, since most of the paper's y-axes are logarithmic).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xrpl::util {
+
+/// One bar of a horizontal bar chart.
+struct Bar {
+    std::string label;
+    double value = 0.0;
+    /// Optional second series (e.g. Fig 2's "valid pages" next to
+    /// "total pages"); negative means absent.
+    double secondary = -1.0;
+};
+
+/// Render a horizontal bar chart.
+///
+/// If `log_scale` is set, bar lengths are proportional to
+/// log10(1 + value); values still print exactly.
+struct BarChartOptions {
+    bool log_scale = false;
+    int width = 50;               // max bar length in characters
+    std::string value_header = "value";
+    std::string secondary_header;  // non-empty enables the second column
+};
+
+void render_bar_chart(std::ostream& os, const std::vector<Bar>& bars,
+                      const BarChartOptions& options);
+
+/// Render an x/y series as rows (x, y, bar) — used for survival
+/// functions and hop histograms.
+struct SeriesPoint {
+    double x = 0.0;
+    double y = 0.0;
+};
+
+void render_series(std::ostream& os, const std::string& x_name,
+                   const std::string& y_name,
+                   const std::vector<SeriesPoint>& points, bool log_scale);
+
+}  // namespace xrpl::util

@@ -1,0 +1,90 @@
+#include "analytics/top_users.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xrpl::analytics {
+namespace {
+
+using ledger::AccountID;
+using ledger::Currency;
+using ledger::IouAmount;
+
+const Currency kUsd = Currency::from_code("USD");
+
+TEST(TopUsersTest, RanksByIntermediateAppearances) {
+    ledger::LedgerState state;
+    const AccountID gw = AccountID::from_seed("gw");
+    const AccountID hub = AccountID::from_seed("hub");
+    const AccountID minor = AccountID::from_seed("minor");
+    state.create_account(gw, {}, true);
+    state.create_account(hub, {});
+    state.create_account(minor, {});
+
+    std::unordered_map<AccountID, std::uint64_t> counts;
+    counts[gw] = 1000;
+    counts[hub] = 5000;
+    counts[minor] = 10;
+
+    const auto rate = [](Currency) { return 1.0; };
+    const auto label = [](const AccountID& id) { return id.short_display(); };
+    const auto top = top_intermediaries(counts, state, 2, rate, label);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].account, hub);
+    EXPECT_EQ(top[0].times_intermediate, 5000u);
+    EXPECT_FALSE(top[0].is_gateway);
+    EXPECT_EQ(top[1].account, gw);
+    EXPECT_TRUE(top[1].is_gateway);
+}
+
+TEST(TopUsersTest, TrustAndBalanceProfiles) {
+    ledger::LedgerState state;
+    const AccountID gw = AccountID::from_seed("gw");
+    const AccountID user = AccountID::from_seed("user");
+    state.create_account(gw, {}, true);
+    state.create_account(user, {});
+    // The user trusts the gateway and holds a deposit: the gateway's
+    // profile must show received trust and a negative balance.
+    ledger::TrustLine& line =
+        state.set_trust(user, gw, kUsd, IouAmount::from_double(1000.0));
+    ASSERT_TRUE(line.transfer_from(gw, IouAmount::from_double(400.0)));
+
+    std::unordered_map<AccountID, std::uint64_t> counts;
+    counts[gw] = 10;
+    counts[user] = 5;
+
+    const auto rate = [](Currency) { return 1.0; };
+    const auto label = [](const AccountID& id) { return id.short_display(); };
+    const auto top = top_intermediaries(counts, state, 10, rate, label);
+    ASSERT_EQ(top.size(), 2u);
+    const TopUser& gateway_row = top[0].account == gw ? top[0] : top[1];
+    const TopUser& user_row = top[0].account == gw ? top[1] : top[0];
+    EXPECT_NEAR(gateway_row.trust_received, 1000.0, 1e-9);
+    EXPECT_NEAR(gateway_row.trust_given, 0.0, 1e-9);
+    EXPECT_NEAR(gateway_row.balance, -400.0, 1e-9);   // gateways owe
+    EXPECT_NEAR(user_row.balance, 400.0, 1e-9);       // users hold credit
+    EXPECT_NEAR(user_row.trust_given, 1000.0, 1e-9);
+}
+
+TEST(TopUsersTest, CoverageOfTop) {
+    std::unordered_map<AccountID, std::uint64_t> counts;
+    counts[AccountID::from_seed("a")] = 86;
+    counts[AccountID::from_seed("b")] = 10;
+    counts[AccountID::from_seed("c")] = 4;
+    EXPECT_NEAR(coverage_of_top(counts, 1), 0.86, 1e-9);
+    EXPECT_NEAR(coverage_of_top(counts, 2), 0.96, 1e-9);
+    EXPECT_NEAR(coverage_of_top(counts, 10), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(coverage_of_top({}, 5), 0.0);
+}
+
+TEST(TopUsersTest, KLargerThanPopulation) {
+    std::unordered_map<AccountID, std::uint64_t> counts;
+    counts[AccountID::from_seed("a")] = 1;
+    ledger::LedgerState state;
+    state.create_account(AccountID::from_seed("a"), {});
+    const auto rate = [](Currency) { return 1.0; };
+    const auto label = [](const AccountID& id) { return id.short_display(); };
+    EXPECT_EQ(top_intermediaries(counts, state, 50, rate, label).size(), 1u);
+}
+
+}  // namespace
+}  // namespace xrpl::analytics

@@ -1,0 +1,272 @@
+#include "consensus/rpca.hpp"
+
+#include <gtest/gtest.h>
+
+#include "consensus/period_config.hpp"
+
+namespace xrpl::consensus {
+namespace {
+
+ValidatorSpec spec(const std::string& label, ValidatorBehavior behavior,
+                   bool on_unl = false, double availability = -1.0) {
+    ValidatorSpec v;
+    v.label = label;
+    v.behavior = behavior;
+    v.on_unl = on_unl;
+    v.availability = availability;
+    return v;
+}
+
+ConsensusConfig small_config(std::uint64_t rounds, std::uint64_t seed = 7) {
+    ConsensusConfig config;
+    config.rounds = rounds;
+    config.seed = seed;
+    config.start_time = util::from_calendar(2015, 12, 1);
+    return config;
+}
+
+TEST(ValidatorTest, NodeKeyIsDeterministicAndNPrefixed) {
+    const std::string key = derive_node_key("bougalis.net");
+    EXPECT_EQ(key, derive_node_key("bougalis.net"));
+    EXPECT_NE(key, derive_node_key("other.net"));
+    EXPECT_EQ(key.front(), 'n');
+}
+
+TEST(ValidatorTest, BehaviorDefaultsAreOrdered) {
+    EXPECT_GT(default_availability(ValidatorBehavior::kCore),
+              default_availability(ValidatorBehavior::kLaggard));
+    EXPECT_GT(default_availability(ValidatorBehavior::kLaggard),
+              default_availability(ValidatorBehavior::kIdler));
+    EXPECT_EQ(default_sync_probability(ValidatorBehavior::kForked), 0.0);
+    EXPECT_EQ(default_sync_probability(ValidatorBehavior::kTestnet), 0.0);
+    EXPECT_EQ(default_sync_probability(ValidatorBehavior::kCore), 1.0);
+}
+
+TEST(ValidatorTest, SpecOverridesBeatDefaults) {
+    Validator v;
+    v.spec = spec("x", ValidatorBehavior::kActive, false, 0.123);
+    EXPECT_DOUBLE_EQ(v.availability(), 0.123);
+    v.spec.availability = -1.0;
+    EXPECT_DOUBLE_EQ(v.availability(), default_availability(ValidatorBehavior::kActive));
+}
+
+TEST(ConsensusTest, HealthyUnlClosesEveryRound) {
+    std::vector<ValidatorSpec> validators;
+    for (int i = 0; i < 5; ++i) {
+        ValidatorSpec v = spec("core-" + std::to_string(i),
+                               ValidatorBehavior::kCore, true);
+        v.availability = 1.0;
+        validators.push_back(v);
+    }
+    ConsensusSimulation sim(validators, small_config(500));
+    ValidationStream stream;
+    const ConsensusStats stats = sim.run(stream);
+    EXPECT_EQ(stats.main_pages_closed, 500u);
+    EXPECT_EQ(stats.main_rounds_failed, 0u);
+    EXPECT_EQ(sim.main_chain().size(), 500u);
+    EXPECT_EQ(sim.main_chain().verify_chain(), 500u);
+}
+
+TEST(ConsensusTest, QuorumFailureWhenUnlMostlyDown) {
+    std::vector<ValidatorSpec> validators;
+    // 5 UNL validators but only 1 ever shows up: 1/5 < 80%.
+    for (int i = 0; i < 5; ++i) {
+        ValidatorSpec v = spec("v-" + std::to_string(i),
+                               ValidatorBehavior::kCore, true);
+        v.availability = i == 0 ? 1.0 : 0.0;
+        validators.push_back(v);
+    }
+    ConsensusSimulation sim(validators, small_config(100));
+    ValidationStream stream;
+    const ConsensusStats stats = sim.run(stream);
+    EXPECT_EQ(stats.main_pages_closed, 0u);
+    EXPECT_EQ(stats.main_rounds_failed, 100u);
+}
+
+TEST(ConsensusTest, EightyPercentQuorumBoundary) {
+    // Exactly 4 of 5 available: 80% met every round.
+    std::vector<ValidatorSpec> validators;
+    for (int i = 0; i < 5; ++i) {
+        ValidatorSpec v = spec("v-" + std::to_string(i),
+                               ValidatorBehavior::kCore, true);
+        v.availability = i < 4 ? 1.0 : 0.0;
+        validators.push_back(v);
+    }
+    ConsensusSimulation sim(validators, small_config(200));
+    ValidationStream stream;
+    EXPECT_EQ(sim.run(stream).main_pages_closed, 200u);
+
+    // 3 of 5 fails the 80% rule.
+    validators[3].availability = 0.0;
+    ConsensusSimulation sim2(validators, small_config(200));
+    ValidationStream stream2;
+    EXPECT_EQ(sim2.run(stream2).main_pages_closed, 0u);
+}
+
+TEST(ConsensusTest, NonUnlValidatorsDoNotCountTowardQuorum) {
+    std::vector<ValidatorSpec> validators;
+    // A single always-on UNL member: quorum = ceil(0.8*1) = 1.
+    ValidatorSpec core = spec("core", ValidatorBehavior::kCore, true);
+    core.availability = 1.0;
+    validators.push_back(core);
+    // Plenty of forked non-UNL validators cannot block it.
+    for (int i = 0; i < 20; ++i) {
+        validators.push_back(
+            spec("forked-" + std::to_string(i), ValidatorBehavior::kForked));
+    }
+    ConsensusSimulation sim(validators, small_config(100));
+    ValidationStream stream;
+    EXPECT_EQ(sim.run(stream).main_pages_closed, 100u);
+}
+
+TEST(ConsensusTest, TestnetRunsItsOwnChain) {
+    std::vector<ValidatorSpec> validators;
+    for (int i = 0; i < 5; ++i) {
+        ValidatorSpec v = spec("core-" + std::to_string(i),
+                               ValidatorBehavior::kCore, true);
+        v.availability = 1.0;
+        validators.push_back(v);
+    }
+    for (int i = 0; i < 5; ++i) {
+        ValidatorSpec v = spec("testnet-" + std::to_string(i),
+                               ValidatorBehavior::kTestnet);
+        v.availability = 1.0;
+        validators.push_back(v);
+    }
+    ConsensusSimulation sim(validators, small_config(300));
+    ValidationStream stream;
+    const ConsensusStats stats = sim.run(stream);
+    EXPECT_EQ(stats.main_pages_closed, 300u);
+    EXPECT_EQ(stats.testnet_pages_closed, 300u);
+    // The two chains never share a page hash.
+    EXPECT_EQ(sim.main_chain().size(), 300u);
+    EXPECT_EQ(sim.testnet_chain().size(), 300u);
+    EXPECT_NE(sim.main_chain().last().hash, sim.testnet_chain().last().hash);
+}
+
+TEST(ConsensusTest, StreamSeesEveryValidation) {
+    std::vector<ValidatorSpec> validators;
+    for (int i = 0; i < 3; ++i) {
+        ValidatorSpec v = spec("v-" + std::to_string(i),
+                               ValidatorBehavior::kCore, true);
+        v.availability = 1.0;
+        validators.push_back(v);
+    }
+    ConsensusSimulation sim(validators, small_config(50));
+    ValidationStream stream;
+    std::uint64_t seen = 0;
+    stream.subscribe_validations([&](const ValidationMessage&) { ++seen; });
+    sim.run(stream);
+    EXPECT_EQ(seen, 150u);  // 3 validators x 50 rounds
+    EXPECT_EQ(stream.validations_published(), 150u);
+    EXPECT_EQ(stream.pages_published(), 50u);
+}
+
+TEST(ConsensusTest, DeterministicForSameSeed) {
+    const auto run_once = [] {
+        std::vector<ValidatorSpec> validators;
+        for (int i = 0; i < 4; ++i) {
+            validators.push_back(spec("v-" + std::to_string(i),
+                                      ValidatorBehavior::kActive, true));
+        }
+        ConsensusSimulation sim(validators, small_config(200, 42));
+        ValidationStream stream;
+        sim.run(stream);
+        return sim.main_chain().size();
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(ConsensusTest, RunRoundSealsTransactionIds) {
+    std::vector<ValidatorSpec> validators;
+    for (int i = 0; i < 5; ++i) {
+        ValidatorSpec v = spec("v-" + std::to_string(i),
+                               ValidatorBehavior::kCore, true);
+        v.availability = 1.0;
+        validators.push_back(v);
+    }
+    ConsensusSimulation sim(validators, small_config(10));
+    ValidationStream stream;
+
+    ledger::Hash256 tx;
+    tx.bytes[0] = 0x42;
+    const RoundOutcome first =
+        sim.run_round(1, util::RippleTime{100}, {tx}, stream);
+    EXPECT_TRUE(first.main_closed);
+    ASSERT_EQ(sim.main_chain().size(), 1u);
+    ASSERT_EQ(sim.main_chain().last().tx_ids.size(), 1u);
+    EXPECT_EQ(sim.main_chain().last().tx_ids[0], tx);
+    EXPECT_EQ(sim.main_chain().last().hash, first.main_page);
+
+    // Cumulative stats accrue across driven rounds.
+    const RoundOutcome second =
+        sim.run_round(2, util::RippleTime{105}, {}, stream);
+    EXPECT_TRUE(second.main_closed);
+    EXPECT_EQ(sim.main_chain().size(), 2u);
+    EXPECT_EQ(sim.main_chain().verify_chain(), 2u);
+    EXPECT_NE(second.main_page, first.main_page);
+}
+
+TEST(ConsensusTest, DifferentTxSetsProduceDifferentCandidates) {
+    const auto run_with = [](std::uint8_t marker) {
+        std::vector<ValidatorSpec> validators;
+        ValidatorSpec v = spec("core", ValidatorBehavior::kCore, true);
+        v.availability = 1.0;
+        validators.push_back(v);
+        ConsensusSimulation sim(validators, small_config(1));
+        ValidationStream stream;
+        ledger::Hash256 tx;
+        tx.bytes[0] = marker;
+        return sim.run_round(1, util::RippleTime{100}, {tx}, stream).main_page;
+    };
+    EXPECT_NE(run_with(1), run_with(2));
+}
+
+TEST(PeriodConfigTest, PeriodsMatchPaperPopulations) {
+    const PeriodSpec dec = december_2015();
+    // 5 cores + 29 others.
+    EXPECT_EQ(dec.validators.size(), 34u);
+
+    const PeriodSpec jul = july_2016();
+    EXPECT_EQ(jul.validators.size(), 33u);  // 5 cores + 28 observed
+
+    const PeriodSpec nov = november_2016();
+    EXPECT_EQ(nov.validators.size(), 39u);  // 5 cores + 34 observed
+
+    EXPECT_EQ(all_periods().size(), 3u);
+}
+
+TEST(PeriodConfigTest, NineSharedActiveContributors) {
+    // "the three periods share only 9 (over a total of 70 validators
+    // seen) that appear in each of them as active contributors".
+    const auto is_active = [](const ValidatorSpec& v) {
+        return (v.behavior == ValidatorBehavior::kCore ||
+                v.behavior == ValidatorBehavior::kActive) &&
+               (v.availability < 0 || v.availability > 0.5);
+    };
+    std::vector<std::string> shared;
+    for (const ValidatorSpec& v : december_2015().validators) {
+        if (!is_active(v)) continue;
+        const auto in_period = [&](const PeriodSpec& p) {
+            for (const ValidatorSpec& w : p.validators) {
+                if (w.label == v.label && is_active(w)) return true;
+            }
+            return false;
+        };
+        if (in_period(july_2016()) && in_period(november_2016())) {
+            shared.push_back(v.label);
+        }
+    }
+    EXPECT_EQ(shared.size(), 9u);
+}
+
+TEST(PeriodConfigTest, TwoWeekConfigScales) {
+    const ConsensusConfig full = two_week_config(1.0, 1);
+    EXPECT_EQ(full.rounds, 252'000u);
+    const ConsensusConfig tenth = two_week_config(0.1, 1);
+    EXPECT_EQ(tenth.rounds, 25'200u);
+    EXPECT_DOUBLE_EQ(tenth.quorum, 0.80);
+}
+
+}  // namespace
+}  // namespace xrpl::consensus

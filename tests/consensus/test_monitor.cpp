@@ -1,0 +1,155 @@
+#include "consensus/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "consensus/period_config.hpp"
+#include "consensus/rpca.hpp"
+
+namespace xrpl::consensus {
+namespace {
+
+ledger::Hash256 page(int i) {
+    ledger::Hash256 h;
+    h.bytes[0] = static_cast<std::uint8_t>(i);
+    h.bytes[1] = static_cast<std::uint8_t>(i >> 8);
+    return h;
+}
+
+std::vector<Validator> two_validators() {
+    std::vector<Validator> out;
+    for (int i = 0; i < 2; ++i) {
+        Validator v;
+        v.index = static_cast<std::uint32_t>(i);
+        v.spec.label = "v" + std::to_string(i);
+        v.spec.behavior = i == 0 ? ValidatorBehavior::kCore
+                                 : ValidatorBehavior::kForked;
+        v.node_key = derive_node_key(v.spec.label);
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+TEST(MonitorTest, CreditsValidationWhenPageCloses) {
+    const auto validators = two_validators();
+    ValidationMonitor monitor(validators);
+    monitor.on_validation(ValidationMessage{1, 0, page(1)});
+    monitor.on_page(PageClosed{1, ChainTag::kMain, page(1)});
+    const auto report = monitor.report();
+    ASSERT_EQ(report.size(), 2u);
+    const auto& v0 = report[0].label == "v0" ? report[0] : report[1];
+    EXPECT_EQ(v0.total_pages, 1u);
+    EXPECT_EQ(v0.valid_pages, 1u);
+}
+
+TEST(MonitorTest, DivergentSignatureNeverValid) {
+    const auto validators = two_validators();
+    ValidationMonitor monitor(validators);
+    monitor.on_validation(ValidationMessage{1, 1, page(99)});
+    monitor.on_page(PageClosed{1, ChainTag::kMain, page(1)});
+    const auto report = monitor.report();
+    const auto& v1 = report[0].label == "v1" ? report[0] : report[1];
+    EXPECT_EQ(v1.total_pages, 1u);
+    EXPECT_EQ(v1.valid_pages, 0u);
+}
+
+TEST(MonitorTest, TestnetPagesDoNotCountAsValid) {
+    const auto validators = two_validators();
+    ValidationMonitor monitor(validators);
+    monitor.on_validation(ValidationMessage{1, 0, page(5)});
+    monitor.on_page(PageClosed{1, ChainTag::kTestnet, page(5)});
+    const auto report = monitor.report();
+    const auto& v0 = report[0].label == "v0" ? report[0] : report[1];
+    EXPECT_EQ(v0.total_pages, 1u);
+    EXPECT_EQ(v0.valid_pages, 0u);
+}
+
+TEST(MonitorTest, PendingWindowExpiresStaleSignatures) {
+    const auto validators = two_validators();
+    ValidationMonitor monitor(validators, /*pending_window_rounds=*/2);
+    monitor.on_validation(ValidationMessage{1, 0, page(1)});
+    // Rounds pass without the page closing.
+    monitor.on_validation(ValidationMessage{10, 1, page(2)});
+    EXPECT_EQ(monitor.pending_size(), 1u);  // page(1) expired
+    // A late close of the expired page credits nobody.
+    monitor.on_page(PageClosed{10, ChainTag::kMain, page(1)});
+    const auto report = monitor.report();
+    const auto& v0 = report[0].label == "v0" ? report[0] : report[1];
+    EXPECT_EQ(v0.valid_pages, 0u);
+}
+
+TEST(MonitorTest, UnknownValidatorIndexIgnored) {
+    const auto validators = two_validators();
+    ValidationMonitor monitor(validators);
+    monitor.on_validation(ValidationMessage{1, 99, page(1)});
+    const auto report = monitor.report();
+    EXPECT_EQ(report[0].total_pages + report[1].total_pages, 0u);
+}
+
+TEST(MonitorTest, ReportSortedByLabel) {
+    const auto validators = two_validators();
+    ValidationMonitor monitor(validators);
+    const auto report = monitor.report();
+    ASSERT_EQ(report.size(), 2u);
+    EXPECT_LE(report[0].label, report[1].label);
+    EXPECT_EQ(report[0].node_key.front(), 'n');
+}
+
+TEST(MonitorTest, EndToEndWithSimulation) {
+    // Full integration: the December 2015 population at tiny scale.
+    const PeriodSpec period = december_2015();
+    ConsensusSimulation sim(period.validators, two_week_config(0.004, 11));
+    ValidationStream stream;
+    ValidationMonitor monitor(sim.validators());
+    monitor.attach(stream);
+    const ConsensusStats stats = sim.run(stream);
+
+    EXPECT_GT(stats.main_pages_closed, 0u);
+    const auto report = monitor.report();
+    ASSERT_EQ(report.size(), period.validators.size());
+
+    std::uint64_t core_valid = 0;
+    std::uint64_t forked_valid = 0;
+    std::uint64_t forked_total = 0;
+    std::uint64_t laggard_valid = 0;
+    std::uint64_t laggard_total = 0;
+    for (const ValidatorReport& r : report) {
+        switch (r.behavior) {
+            case ValidatorBehavior::kCore:
+                core_valid += r.valid_pages;
+                break;
+            case ValidatorBehavior::kForked:
+                forked_valid += r.valid_pages;
+                forked_total += r.total_pages;
+                break;
+            case ValidatorBehavior::kLaggard:
+                laggard_valid += r.valid_pages;
+                laggard_total += r.total_pages;
+                break;
+            default:
+                break;
+        }
+    }
+    // Cores validate nearly everything; forks sign plenty but none
+    // valid; laggards show the paper's "very small fraction".
+    EXPECT_GT(core_valid, 0u);
+    EXPECT_EQ(forked_valid, 0u);
+    EXPECT_GT(forked_total, 0u);
+    EXPECT_GT(laggard_total, 0u);
+    EXPECT_LT(static_cast<double>(laggard_valid),
+              0.5 * static_cast<double>(laggard_total));
+}
+
+TEST(MonitorTest, ActiveCountFindsTheActiveSubset) {
+    const PeriodSpec period = december_2015();
+    ConsensusSimulation sim(period.validators, two_week_config(0.004, 13));
+    ValidationStream stream;
+    ValidationMonitor monitor(sim.validators());
+    monitor.attach(stream);
+    sim.run(stream);
+    // R1-R5 plus the 4 actives (n9KsiC at availability 0.55 clears
+    // the 50% bar).
+    EXPECT_EQ(monitor.active_count(0.5), 9u);
+}
+
+}  // namespace
+}  // namespace xrpl::consensus

@@ -1,0 +1,127 @@
+#include "consensus/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xrpl::consensus {
+namespace {
+
+ConsensusConfig short_config() {
+    ConsensusConfig config;
+    config.rounds = 2'000;
+    config.seed = 77;
+    config.start_time = util::from_calendar(2015, 12, 1);
+    return config;
+}
+
+TEST(TakeoverTest, SweepDegradesMonotonically) {
+    const PeriodSpec period = december_2015();
+    const auto sweep = takeover_sweep(period, short_config(), 3);
+    ASSERT_EQ(sweep.size(), 4u);
+    EXPECT_EQ(sweep[0].compromised, 0u);
+    // Unattacked close rate is high.
+    EXPECT_GT(sweep[0].close_rate(), 0.9);
+    // Each additional compromised validator can only hurt.
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        EXPECT_LE(sweep[i].close_rate(), sweep[i - 1].close_rate() + 0.02)
+            << "k=" << i;
+    }
+}
+
+TEST(TakeoverTest, CompromisingTwoOfFiveCoresHaltsTheSystem) {
+    // Quorum is ceil(0.8 * 5) = 4: with 2 cores down only 3 can vote.
+    const PeriodSpec period = december_2015();
+    const auto sweep = takeover_sweep(period, short_config(), 2);
+    ASSERT_EQ(sweep.size(), 3u);
+    EXPECT_DOUBLE_EQ(sweep[2].close_rate(), 0.0);
+}
+
+TEST(TakeoverTest, SweepCapsAtUnlSize) {
+    const PeriodSpec period = december_2015();  // 5 UNL members
+    const auto sweep = takeover_sweep(period, short_config(), 50);
+    EXPECT_EQ(sweep.size(), 6u);  // 0..5
+    EXPECT_DOUBLE_EQ(sweep.back().close_rate(), 0.0);
+}
+
+TEST(CloseProbabilityTest, KnownValues) {
+    // 5 validators at availability 1.0: always closes.
+    EXPECT_DOUBLE_EQ(close_probability(5, 1.0, 0.8), 1.0);
+    // Availability 0: never.
+    EXPECT_DOUBLE_EQ(close_probability(5, 0.0, 0.8), 0.0);
+    // n=5, quorum 0.8 -> need 4 of 5 up: P = 5 p^4 (1-p) + p^5.
+    const double p = 0.9;
+    const double expected = 5 * std::pow(p, 4) * (1 - p) + std::pow(p, 5);
+    EXPECT_NEAR(close_probability(5, p, 0.8), expected, 1e-12);
+}
+
+TEST(CloseProbabilityTest, MoreValidatorsMoreRobustAtFixedAvailability) {
+    const double a = 0.95;
+    EXPECT_LT(close_probability(5, a, 0.8), close_probability(50, a, 0.8));
+    EXPECT_GT(close_probability(50, a, 0.8), 0.999);
+}
+
+TEST(CloseProbabilityTest, AfterTakeoverNeedsSurvivorsAboveQuorum) {
+    // 10 validators, 3 compromised: need 8 of the 7 survivors -> 0.
+    EXPECT_DOUBLE_EQ(close_probability_after_takeover(10, 3, 1.0, 0.8), 0.0);
+    // 50 validators, 8 compromised: need 40 of 42 survivors.
+    EXPECT_GT(close_probability_after_takeover(50, 8, 0.99, 0.8), 0.5);
+    // Degenerate inputs.
+    EXPECT_DOUBLE_EQ(close_probability_after_takeover(0, 0, 0.9, 0.8), 0.0);
+    EXPECT_DOUBLE_EQ(close_probability_after_takeover(5, 5, 0.9, 0.8), 0.0);
+}
+
+TEST(RewardTest, ProfitGrowsThePopulation) {
+    RewardPolicy policy;
+    policy.reward_per_epoch = 10'000.0;     // generous tax pool
+    policy.operating_cost_per_epoch = 400.0;
+    policy.initial_validators = 5;
+    const auto trajectory = simulate_reward_adoption(policy, 40, 1);
+    ASSERT_EQ(trajectory.size(), 40u);
+    EXPECT_EQ(trajectory.front().validators, 5u);
+    EXPECT_GT(trajectory.back().validators, 15u);
+    // Takeover robustness grows with the population: today's 5
+    // validators fail under an 8-validator takeover; the grown set
+    // survives it.
+    EXPECT_DOUBLE_EQ(trajectory.front().close_rate_under_takeover_of_8, 0.0);
+    EXPECT_GT(trajectory.back().close_rate_under_takeover_of_8, 0.3);
+}
+
+TEST(RewardTest, PopulationStabilizesNearBreakEven) {
+    RewardPolicy policy;
+    policy.reward_per_epoch = 4'000.0;
+    policy.operating_cost_per_epoch = 400.0;
+    policy.initial_validators = 5;
+    const auto trajectory = simulate_reward_adoption(policy, 200, 2);
+    // Income per validator = 4000*5/n; break-even at n = 50.
+    const std::size_t final_count = trajectory.back().validators;
+    EXPECT_GT(final_count, 30u);
+    EXPECT_LT(final_count, 80u);
+    // Income at the end is near the operating cost.
+    EXPECT_NEAR(trajectory.back().income_per_validator, 400.0, 200.0);
+}
+
+TEST(RewardTest, NoRewardNoGrowth) {
+    RewardPolicy policy;
+    policy.reward_per_epoch = 100.0;  // below cost from the start
+    policy.operating_cost_per_epoch = 400.0;
+    policy.initial_validators = 5;
+    const auto trajectory = simulate_reward_adoption(policy, 50, 3);
+    // The original core never leaves; nobody joins.
+    for (const RewardEpoch& epoch : trajectory) {
+        EXPECT_EQ(epoch.validators, 5u);
+    }
+}
+
+TEST(RewardTest, DeterministicForSeed) {
+    RewardPolicy policy;
+    const auto a = simulate_reward_adoption(policy, 60, 9);
+    const auto b = simulate_reward_adoption(policy, 60, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].validators, b[i].validators);
+    }
+}
+
+}  // namespace
+}  // namespace xrpl::consensus

@@ -1,0 +1,169 @@
+#include "core/deanonymizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace xrpl::core {
+namespace {
+
+using ledger::AccountID;
+using ledger::Currency;
+using ledger::IouAmount;
+using ledger::TxRecord;
+
+TxRecord record(const std::string& sender, const std::string& destination,
+                const char* currency, double amount, std::int64_t t) {
+    TxRecord r;
+    r.sender = AccountID::from_seed(sender);
+    r.destination = AccountID::from_seed(destination);
+    r.currency = Currency::from_code(currency);
+    r.amount = IouAmount::from_double(amount);
+    r.time = util::RippleTime{t};
+    return r;
+}
+
+TEST(DeanonymizerTest, AllUniqueWhenFeaturesDistinct) {
+    const std::vector<TxRecord> records = {
+        record("alice", "shop", "USD", 100.0, 10),
+        record("bob", "shop", "USD", 200.0, 20),
+        record("carol", "shop", "USD", 300.0, 30),
+    };
+    const Deanonymizer deanonymizer(records);
+    const IgResult ig = deanonymizer.information_gain(full_resolution());
+    EXPECT_EQ(ig.total_payments, 3u);
+    EXPECT_EQ(ig.uniquely_identified, 3u);
+    EXPECT_DOUBLE_EQ(ig.information_gain(), 1.0);
+}
+
+TEST(DeanonymizerTest, SameSenderCollisionsStillIdentify) {
+    // Two identical payments from the SAME account: the fingerprint is
+    // shared, but it still pins down the sender.
+    const std::vector<TxRecord> records = {
+        record("alice", "shop", "USD", 100.0, 10),
+        record("alice", "shop", "USD", 100.0, 10),
+    };
+    const Deanonymizer deanonymizer(records);
+    EXPECT_DOUBLE_EQ(
+        deanonymizer.information_gain(full_resolution()).information_gain(), 1.0);
+}
+
+TEST(DeanonymizerTest, CrossSenderCollisionDestroysIdentification) {
+    const std::vector<TxRecord> records = {
+        record("alice", "shop", "USD", 100.0, 10),
+        record("bob", "shop", "USD", 100.0, 10),  // same fingerprint
+        record("carol", "cafe", "USD", 500.0, 99),
+    };
+    const Deanonymizer deanonymizer(records);
+    const IgResult ig = deanonymizer.information_gain(full_resolution());
+    EXPECT_EQ(ig.uniquely_identified, 1u);  // only carol's
+    EXPECT_NEAR(ig.information_gain(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(DeanonymizerTest, CoarseningReducesInformationGain) {
+    // Many users paying the same shop round-number amounts in the same
+    // hour: unique at seconds, colliding at hour granularity.
+    std::vector<TxRecord> records;
+    for (int i = 0; i < 20; ++i) {
+        records.push_back(
+            record("user" + std::to_string(i), "shop", "USD", 100.0, 100 + i));
+    }
+    const Deanonymizer deanonymizer(records);
+    EXPECT_DOUBLE_EQ(
+        deanonymizer.information_gain(full_resolution()).information_gain(), 1.0);
+    ResolutionConfig coarse = full_resolution();
+    coarse.time = util::TimeResolution::kHours;
+    EXPECT_DOUBLE_EQ(deanonymizer.information_gain(coarse).information_gain(),
+                     0.0);
+}
+
+TEST(DeanonymizerTest, EmptyHistory) {
+    const std::vector<TxRecord> records;
+    const Deanonymizer deanonymizer(records);
+    const IgResult ig = deanonymizer.information_gain(full_resolution());
+    EXPECT_EQ(ig.total_payments, 0u);
+    EXPECT_DOUBLE_EQ(ig.information_gain(), 0.0);
+}
+
+TEST(DeanonymizerTest, AttackFindsTheLatteSender) {
+    // The paper's bar scenario: Alice knows amount/time/currency/
+    // destination of Bob's latte and recovers Bob's address.
+    std::vector<TxRecord> records = {
+        record("bob", "bar", "USD", 4.5, 1000),
+        record("alice", "bar", "USD", 12.0, 50'000),
+        record("carol", "grocer", "USD", 4.5, 90'000),
+    };
+    const Deanonymizer deanonymizer(records);
+
+    TxRecord observation = record("UNKNOWN", "bar", "USD", 4.5, 1000);
+    const auto candidates = deanonymizer.attack(observation, full_resolution());
+    ASSERT_EQ(candidates.size(), 1u);
+    EXPECT_EQ(candidates[0], AccountID::from_seed("bob"));
+}
+
+TEST(DeanonymizerTest, AttackReturnsAllCandidatesWhenAmbiguous) {
+    std::vector<TxRecord> records = {
+        record("bob", "bar", "USD", 4.5, 1000),
+        record("mallory", "bar", "USD", 4.9, 1000),  // same rounded amount
+    };
+    const Deanonymizer deanonymizer(records);
+    TxRecord observation = record("UNKNOWN", "bar", "USD", 4.5, 1000);
+    const auto candidates = deanonymizer.attack(observation, full_resolution());
+    EXPECT_EQ(candidates.size(), 2u);
+}
+
+TEST(DeanonymizerTest, AttackWithNoMatchReturnsEmpty) {
+    std::vector<TxRecord> records = {record("bob", "bar", "USD", 4.5, 1000)};
+    const Deanonymizer deanonymizer(records);
+    TxRecord observation = record("UNKNOWN", "bar", "EUR", 4.5, 1000);
+    EXPECT_TRUE(deanonymizer.attack(observation, full_resolution()).empty());
+}
+
+TEST(DeanonymizerTest, HistoryOfReturnsEntireFinancialLife) {
+    std::vector<TxRecord> records = {
+        record("bob", "bar", "USD", 4.5, 1000),
+        record("bob", "rent", "USD", 900.0, 2000),
+        record("alice", "bar", "USD", 3.0, 3000),
+        record("bob", "grocer", "USD", 55.0, 4000),
+    };
+    const Deanonymizer deanonymizer(records);
+    const auto history = deanonymizer.history_of(AccountID::from_seed("bob"));
+    EXPECT_EQ(history.size(), 3u);
+    for (const TxRecord& r : history) {
+        EXPECT_EQ(r.sender, AccountID::from_seed("bob"));
+    }
+}
+
+TEST(AttackIndexTest, MatchesDeanonymizerAttack) {
+    std::vector<TxRecord> records;
+    for (int i = 0; i < 100; ++i) {
+        records.push_back(record("user" + std::to_string(i % 7),
+                                 "shop" + std::to_string(i % 3), "USD",
+                                 100.0 * (i % 5), i));
+    }
+    const Deanonymizer deanonymizer(records);
+    const AttackIndex index(records, full_resolution());
+    for (int i = 0; i < 100; i += 13) {
+        const auto via_scan = deanonymizer.attack(records[static_cast<std::size_t>(i)],
+                                                  full_resolution());
+        const auto via_index =
+            index.candidate_senders(records[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(via_scan, via_index);
+    }
+}
+
+TEST(AttackIndexTest, MatchesAreRecordIndices) {
+    std::vector<TxRecord> records = {
+        record("bob", "bar", "USD", 4.5, 1000),
+        record("alice", "bar", "USD", 999.0, 2000),
+    };
+    const AttackIndex index(records, full_resolution());
+    const auto& matches = index.matches(records[0]);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0], 0u);
+    EXPECT_GE(index.bucket_count(), 2u);
+}
+
+}  // namespace
+}  // namespace xrpl::core

@@ -1,0 +1,47 @@
+#include "core/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xrpl::core {
+namespace {
+
+TEST(ResolutionConfigTest, DefaultIsFullResolution) {
+    const ResolutionConfig config;
+    EXPECT_TRUE(config.amount.has_value());
+    EXPECT_EQ(*config.amount, AmountResolution::kMax);
+    EXPECT_TRUE(config.time.has_value());
+    EXPECT_EQ(*config.time, util::TimeResolution::kSeconds);
+    EXPECT_TRUE(config.use_currency);
+    EXPECT_TRUE(config.use_destination);
+    EXPECT_EQ(config.label(), full_resolution().label());
+}
+
+TEST(ResolutionConfigTest, LabelsUsePaperNotation) {
+    ResolutionConfig config = full_resolution();
+    EXPECT_EQ(config.label(), "<Am; Tsc; C; D>");
+
+    config.amount = AmountResolution::kLow;
+    config.time = util::TimeResolution::kDays;
+    EXPECT_EQ(config.label(), "<Al; Tdy; C; D>");
+
+    config.amount.reset();
+    EXPECT_EQ(config.label(), "<-; Tdy; C; D>");
+
+    config.time.reset();
+    config.use_currency = false;
+    config.use_destination = false;
+    EXPECT_EQ(config.label(), "<-; -; -; ->");
+}
+
+TEST(ResolutionConfigTest, EveryAmountLevelLabelled) {
+    ResolutionConfig config = full_resolution();
+    config.amount = AmountResolution::kHigh;
+    config.time = util::TimeResolution::kMinutes;
+    EXPECT_EQ(config.label(), "<Ah; Tmn; C; D>");
+    config.amount = AmountResolution::kAverage;
+    config.time = util::TimeResolution::kHours;
+    EXPECT_EQ(config.label(), "<Aa; Thr; C; D>");
+}
+
+}  // namespace
+}  // namespace xrpl::core

@@ -1,0 +1,145 @@
+#include "core/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace xrpl::core {
+namespace {
+
+using ledger::AccountID;
+using ledger::Currency;
+using ledger::IouAmount;
+using ledger::TxRecord;
+
+TxRecord latte() {
+    TxRecord r;
+    r.sender = AccountID::from_seed("bob");
+    r.destination = AccountID::from_seed("bar");
+    r.currency = Currency::from_code("USD");
+    r.amount = IouAmount::from_double(4.5);
+    r.time = util::from_calendar(2015, 8, 24, 15, 41, 3);
+    return r;
+}
+
+TEST(FingerprintTest, SenderNeverAffectsFingerprint) {
+    TxRecord a = latte();
+    TxRecord b = latte();
+    b.sender = AccountID::from_seed("alice");
+    EXPECT_EQ(fingerprint(a, full_resolution()), fingerprint(b, full_resolution()));
+}
+
+TEST(FingerprintTest, EachIncludedFieldMatters) {
+    const ResolutionConfig config = full_resolution();
+    const std::uint64_t base = fingerprint(latte(), config);
+
+    TxRecord r = latte();
+    r.destination = AccountID::from_seed("other-bar");
+    EXPECT_NE(fingerprint(r, config), base);
+
+    r = latte();
+    r.currency = Currency::from_code("EUR");
+    EXPECT_NE(fingerprint(r, config), base);
+
+    r = latte();
+    r.time.seconds += 1;
+    EXPECT_NE(fingerprint(r, config), base);
+
+    r = latte();
+    r.amount = IouAmount::from_double(17.0);  // rounds to 20, not 0
+    EXPECT_NE(fingerprint(r, config), base);
+}
+
+TEST(FingerprintTest, IgnoredFieldsDoNotMatter) {
+    ResolutionConfig config = full_resolution();
+    config.use_destination = false;
+    TxRecord a = latte();
+    TxRecord b = latte();
+    b.destination = AccountID::from_seed("somewhere-else");
+    EXPECT_EQ(fingerprint(a, config), fingerprint(b, config));
+
+    config = full_resolution();
+    config.time.reset();
+    b = latte();
+    b.time.seconds += 3600;
+    EXPECT_EQ(fingerprint(latte(), config), fingerprint(b, config));
+
+    config = full_resolution();
+    config.amount.reset();
+    b = latte();
+    b.amount = IouAmount::from_double(999.0);
+    EXPECT_EQ(fingerprint(latte(), config), fingerprint(b, config));
+}
+
+TEST(FingerprintTest, AmountRoundingMergesNearbyValues) {
+    // Both 4.5 and 4.9 USD round to 0 at max resolution.
+    TxRecord a = latte();
+    TxRecord b = latte();
+    b.amount = IouAmount::from_double(4.9);
+    EXPECT_EQ(fingerprint(a, full_resolution()), fingerprint(b, full_resolution()));
+}
+
+TEST(FingerprintTest, TimeTruncationMergesWithinBucket) {
+    ResolutionConfig config = full_resolution();
+    config.time = util::TimeResolution::kHours;
+    TxRecord a = latte();
+    TxRecord b = latte();
+    b.time = util::from_calendar(2015, 8, 24, 15, 2, 59);
+    EXPECT_EQ(fingerprint(a, config), fingerprint(b, config));
+    b.time = util::from_calendar(2015, 8, 24, 16, 0, 0);
+    EXPECT_NE(fingerprint(a, config), fingerprint(b, config));
+}
+
+TEST(FingerprintTest, CoarserResolutionNeverSplitsABucket) {
+    // If two records collide at fine resolution they must collide at
+    // every coarser one (refinement property).
+    util::Rng rng(77);
+    for (int i = 0; i < 300; ++i) {
+        TxRecord a;
+        a.sender = AccountID::from_seed("s" + std::to_string(i));
+        a.destination = AccountID::from_seed("d" + std::to_string(i % 10));
+        a.currency = Currency::from_code("USD");
+        a.amount = IouAmount::from_double(rng.lognormal(3.0, 2.0));
+        a.time = util::RippleTime{
+            static_cast<std::int64_t>(rng.uniform_u64(0, 100'000))};
+        TxRecord b = a;
+        b.amount = a.amount;  // identical features
+        const ResolutionConfig fine = full_resolution();
+        ResolutionConfig coarse;
+        coarse.amount = AmountResolution::kLow;
+        coarse.time = util::TimeResolution::kDays;
+        if (fingerprint(a, fine) == fingerprint(b, fine)) {
+            EXPECT_EQ(fingerprint(a, coarse), fingerprint(b, coarse));
+        }
+    }
+}
+
+TEST(FingerprintTest, HashSpreadsOverDistinctRecords) {
+    std::unordered_set<std::uint64_t> fingerprints;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) {
+        TxRecord r;
+        r.sender = AccountID::from_seed("s");
+        r.destination = AccountID::from_seed("d" + std::to_string(i));
+        r.currency = Currency::from_code("USD");
+        r.amount = IouAmount::from_double(100.0 * (i + 1));
+        r.time = util::RippleTime{i};
+        fingerprints.insert(fingerprint(r, full_resolution()));
+    }
+    EXPECT_EQ(fingerprints.size(), static_cast<std::size_t>(n));
+}
+
+TEST(FingerprintHasherTest, MixOrderMatters) {
+    FingerprintHasher a;
+    a.mix(1);
+    a.mix(2);
+    FingerprintHasher b;
+    b.mix(2);
+    b.mix(1);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+}  // namespace
+}  // namespace xrpl::core

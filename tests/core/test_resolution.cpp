@@ -1,0 +1,157 @@
+#include "core/resolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace xrpl::core {
+namespace {
+
+using ledger::Currency;
+using ledger::IouAmount;
+
+Currency cur(const char* code) { return Currency::from_code(code); }
+
+TEST(StrengthTest, TableOneGroups) {
+    // Powerful: BTC, XAG, XAU, XPT.
+    for (const char* code : {"BTC", "XAG", "XAU", "XPT"}) {
+        EXPECT_EQ(strength_of(cur(code)), Strength::kPowerful) << code;
+    }
+    // Medium: CNY, EUR, USD, AUD, GBP, JPY.
+    for (const char* code : {"CNY", "EUR", "USD", "AUD", "GBP", "JPY"}) {
+        EXPECT_EQ(strength_of(cur(code)), Strength::kMedium) << code;
+    }
+    // Weak: XRP, CCK, STR, KRW, MTL.
+    for (const char* code : {"XRP", "CCK", "STR", "KRW", "MTL"}) {
+        EXPECT_EQ(strength_of(cur(code)), Strength::kWeak) << code;
+    }
+}
+
+TEST(StrengthTest, UnlistedCurrenciesDefaultToMedium) {
+    EXPECT_EQ(strength_of(cur("DOG")), Strength::kMedium);
+    EXPECT_EQ(strength_of(cur("ZZZ")), Strength::kMedium);
+}
+
+TEST(StrengthTest, BasePowersMatchTableOne) {
+    EXPECT_EQ(base_power(Strength::kPowerful), -3);
+    EXPECT_EQ(base_power(Strength::kMedium), 1);
+    EXPECT_EQ(base_power(Strength::kWeak), 5);
+}
+
+TEST(RoundingUnitTest, TableOneValues) {
+    // Medium (EUR): max 10^1, average 10^2, low 10^3.
+    EXPECT_EQ(rounding_unit(cur("EUR"), AmountResolution::kMax).power, 1);
+    EXPECT_EQ(rounding_unit(cur("EUR"), AmountResolution::kAverage).power, 2);
+    EXPECT_EQ(rounding_unit(cur("EUR"), AmountResolution::kLow).power, 3);
+    // Powerful (BTC): 10^-3, 10^-2, 10^-1.
+    EXPECT_EQ(rounding_unit(cur("BTC"), AmountResolution::kMax).power, -3);
+    EXPECT_EQ(rounding_unit(cur("BTC"), AmountResolution::kAverage).power, -2);
+    EXPECT_EQ(rounding_unit(cur("BTC"), AmountResolution::kLow).power, -1);
+    // Weak (XRP): 10^5, 10^6, 10^7.
+    EXPECT_EQ(rounding_unit(cur("XRP"), AmountResolution::kMax).power, 5);
+    EXPECT_EQ(rounding_unit(cur("XRP"), AmountResolution::kAverage).power, 6);
+    EXPECT_EQ(rounding_unit(cur("XRP"), AmountResolution::kLow).power, 7);
+}
+
+TEST(RoundingUnitTest, HighResolutionInterpolates) {
+    const RoundingUnit high = rounding_unit(cur("USD"), AmountResolution::kHigh);
+    EXPECT_EQ(high.digit, 5);
+    EXPECT_EQ(high.power, 1);  // nearest 50
+}
+
+TEST(RoundAmountTest, MediumExamples) {
+    // 4.5 USD (the latte) rounds to 0 at max resolution (nearest 10).
+    EXPECT_TRUE(round_amount(IouAmount::from_double(4.5), cur("USD"),
+                             AmountResolution::kMax)
+                    .is_zero());
+    EXPECT_NEAR(round_amount(IouAmount::from_double(47.0), cur("USD"),
+                             AmountResolution::kMax)
+                    .to_double(),
+                50.0, 1e-9);
+    EXPECT_NEAR(round_amount(IouAmount::from_double(151.0), cur("USD"),
+                             AmountResolution::kAverage)
+                    .to_double(),
+                200.0, 1e-9);
+    EXPECT_NEAR(round_amount(IouAmount::from_double(2499.0), cur("USD"),
+                             AmountResolution::kLow)
+                    .to_double(),
+                2000.0, 1e-9);
+}
+
+TEST(RoundAmountTest, PowerfulExamples) {
+    EXPECT_NEAR(round_amount(IouAmount::from_double(0.0334), cur("BTC"),
+                             AmountResolution::kMax)
+                    .to_double(),
+                0.033, 1e-12);
+    EXPECT_NEAR(round_amount(IouAmount::from_double(0.0334), cur("BTC"),
+                             AmountResolution::kAverage)
+                    .to_double(),
+                0.03, 1e-12);
+    EXPECT_NEAR(round_amount(IouAmount::from_double(0.0334), cur("BTC"),
+                             AmountResolution::kLow)
+                    .to_double(),
+                0.0, 1e-12);
+}
+
+TEST(RoundAmountTest, WeakExamples) {
+    // MTL spam amounts (~1e9) survive even low resolution.
+    EXPECT_NEAR(round_amount(IouAmount::from_double(1.23e9), cur("MTL"),
+                             AmountResolution::kLow)
+                    .to_double(),
+                1.23e9, 1e3);
+    // Typical XRP retail rounds to zero at max resolution (nearest 1e5).
+    EXPECT_TRUE(round_amount(IouAmount::from_double(500.0), cur("XRP"),
+                             AmountResolution::kMax)
+                    .is_zero());
+}
+
+TEST(RoundAmountTest, HighLevelRoundsToNearestFifty) {
+    EXPECT_NEAR(round_amount(IouAmount::from_double(74.0), cur("USD"),
+                             AmountResolution::kHigh)
+                    .to_double(),
+                50.0, 1e-6);
+    EXPECT_NEAR(round_amount(IouAmount::from_double(76.0), cur("USD"),
+                             AmountResolution::kHigh)
+                    .to_double(),
+                100.0, 1e-6);
+}
+
+TEST(RoundAmountTest, LabelsForFigureThree) {
+    EXPECT_STREQ(amount_resolution_label(AmountResolution::kMax), "m");
+    EXPECT_STREQ(amount_resolution_label(AmountResolution::kHigh), "h");
+    EXPECT_STREQ(amount_resolution_label(AmountResolution::kAverage), "a");
+    EXPECT_STREQ(amount_resolution_label(AmountResolution::kLow), "l");
+}
+
+// Property: rounding at any resolution is idempotent, and coarser
+// resolutions never produce a value farther from zero.
+class RoundingProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundingProperty, IdempotentAndShrinking) {
+    util::Rng rng(1234);
+    const Currency currency = cur(GetParam());
+    for (int i = 0; i < 500; ++i) {
+        const IouAmount value = IouAmount::from_double(rng.lognormal(2.0, 4.0));
+        for (const auto res :
+             {AmountResolution::kMax, AmountResolution::kHigh,
+              AmountResolution::kAverage, AmountResolution::kLow}) {
+            const IouAmount rounded = round_amount(value, currency, res);
+            EXPECT_EQ(round_amount(rounded, currency, res), rounded)
+                << value.to_string();
+            // Error at most half the unit.
+            const RoundingUnit unit = rounding_unit(currency, res);
+            const double unit_size = unit.digit * std::pow(10.0, unit.power);
+            EXPECT_LE(std::abs(rounded.to_double() - value.to_double()),
+                      unit_size * 0.5000001)
+                << value.to_string();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Currencies, RoundingProperty,
+                         ::testing::Values("USD", "BTC", "XRP", "EUR", "MTL"));
+
+}  // namespace
+}  // namespace xrpl::core

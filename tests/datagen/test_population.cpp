@@ -1,0 +1,161 @@
+#include "datagen/population.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xrpl::datagen {
+namespace {
+
+GeneratorConfig small_config() {
+    GeneratorConfig config;
+    config.seed = 5;
+    config.num_users = 500;
+    config.num_gateways = 25;
+    config.num_market_makers = 30;
+    config.num_merchants = 80;
+    config.num_hubs = 10;
+    return config;
+}
+
+class PopulationTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        util::Rng rng(small_config().seed);
+        pop_ = build_population(ledger_, small_config(), rng);
+    }
+
+    ledger::LedgerState ledger_;
+    Population pop_;
+};
+
+TEST_F(PopulationTest, CountsMatchConfig) {
+    EXPECT_EQ(pop_.gateways.size(), 25u);
+    EXPECT_EQ(pop_.users.size(), 500u);
+    EXPECT_EQ(pop_.user_profiles.size(), 500u);
+    EXPECT_EQ(pop_.market_makers.size(), 30u);
+    EXPECT_EQ(pop_.merchants.size(), 80u);
+    EXPECT_EQ(pop_.merchant_profiles.size(), 80u);
+    EXPECT_EQ(pop_.hubs.size(), 10u);
+}
+
+TEST_F(PopulationTest, GatewaysAreFlagged) {
+    for (const auto& gw : pop_.gateways) {
+        const ledger::AccountRoot* root = ledger_.account(gw);
+        ASSERT_NE(root, nullptr);
+        EXPECT_TRUE(root->is_gateway);
+    }
+    EXPECT_FALSE(ledger_.account(pop_.users[0])->is_gateway);
+    EXPECT_FALSE(ledger_.account(pop_.hubs[0])->is_gateway);
+}
+
+TEST_F(PopulationTest, NamedGatewaysGetLabels) {
+    EXPECT_EQ(pop_.label_of(pop_.gateways[0]), "SnapSwap");
+    EXPECT_EQ(pop_.label_of(pop_.gateways[2]), "Bitstamp");
+    // The two mystery rails carry the paper's abbreviated addresses.
+    ASSERT_EQ(pop_.cck_rails.size(), 2u);
+    EXPECT_EQ(pop_.label_of(pop_.cck_rails[0]), "rp2PaY...X1mEx7");
+    EXPECT_EQ(pop_.label_of(pop_.cck_rails[1]), "r42Ccn...Xqm5M3");
+    // Unlabeled accounts fall back to the abbreviated address.
+    EXPECT_NE(pop_.label_of(pop_.users[0]).find("..."), std::string::npos);
+}
+
+TEST_F(PopulationTest, EveryCatalogCurrencyHasEnoughIssuers) {
+    for (const CurrencyInfo& info : organic_currency_catalog()) {
+        const auto it = pop_.issuers_by_currency.find(info.code);
+        ASSERT_NE(it, pop_.issuers_by_currency.end()) << info.code.to_string();
+        EXPECT_GE(it->second.size(), 12u) << info.code.to_string();
+    }
+}
+
+TEST_F(PopulationTest, UsersHoldSpendableDeposits) {
+    std::size_t with_deposits = 0;
+    for (std::size_t i = 0; i < pop_.users.size(); ++i) {
+        const UserProfile& profile = pop_.user_profiles[i];
+        for (const auto& gw : profile.deposit_gateways) {
+            const ledger::TrustLine* line =
+                ledger_.trustline(pop_.users[i], gw, profile.home);
+            ASSERT_NE(line, nullptr);
+            const double spendable =
+                line->capacity_from(pop_.users[i]).to_double();
+            EXPECT_GT(spendable, 0.0);
+        }
+        if (!profile.deposit_gateways.empty()) ++with_deposits;
+    }
+    EXPECT_EQ(with_deposits, pop_.users.size());
+}
+
+TEST_F(PopulationTest, UsersFundedWithXrp) {
+    for (const auto& user : pop_.users) {
+        EXPECT_GT(ledger_.account(user)->balance.drops, 0);
+    }
+}
+
+TEST_F(PopulationTest, MtlChainsHaveTheSpamShape) {
+    ASSERT_EQ(pop_.mtl_chains.size(), 6u);
+    for (const auto& chain : pop_.mtl_chains) {
+        ASSERT_EQ(chain.size(), 10u);  // spammer + 8 + target
+        EXPECT_EQ(chain.front(), pop_.mtl_spammer);
+        EXPECT_EQ(chain.back(), pop_.mtl_target);
+        // Every hop has enormous capacity.
+        for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+            const ledger::TrustLine* line = ledger_.trustline(
+                chain[i], chain[i + 1], cur("MTL"));
+            ASSERT_NE(line, nullptr);
+            EXPECT_GT(line->capacity_from(chain[i]).to_double(), 1e20);
+        }
+    }
+}
+
+TEST_F(PopulationTest, CckSpammersCanReachTargetsThroughBothRails) {
+    for (const auto& rail : pop_.cck_rails) {
+        for (const auto& spammer : pop_.cck_spammers) {
+            const ledger::TrustLine* line =
+                ledger_.trustline(spammer, rail, cur("CCK"));
+            ASSERT_NE(line, nullptr);
+            EXPECT_GT(line->capacity_from(spammer).to_double(), 0.0);
+        }
+        for (const auto& target : pop_.cck_targets) {
+            const ledger::TrustLine* line =
+                ledger_.trustline(target, rail, cur("CCK"));
+            ASSERT_NE(line, nullptr);
+            EXPECT_GT(line->capacity_from(rail).to_double(), 0.0);
+        }
+    }
+}
+
+TEST_F(PopulationTest, AccountZeroIsTheZeroAccount) {
+    EXPECT_TRUE(pop_.account_zero.is_zero());
+    ASSERT_NE(ledger_.account(pop_.account_zero), nullptr);
+    EXPECT_EQ(pop_.label_of(pop_.account_zero), "ACCOUNT_ZERO");
+}
+
+TEST_F(PopulationTest, DeterministicForSameSeed) {
+    ledger::LedgerState other_ledger;
+    util::Rng rng(small_config().seed);
+    const Population other = build_population(other_ledger, small_config(), rng);
+    EXPECT_EQ(other.users, pop_.users);
+    EXPECT_EQ(other.gateways, pop_.gateways);
+    EXPECT_EQ(other_ledger.trustline_count(), ledger_.trustline_count());
+}
+
+TEST(CurrencyCatalogTest, WeightsDescendAndValuesPositive) {
+    const auto& catalog = organic_currency_catalog();
+    ASSERT_GT(catalog.size(), 40u);
+    for (std::size_t i = 1; i < catalog.size(); ++i) {
+        EXPECT_GE(catalog[i - 1].weight, catalog[i].weight);
+    }
+    for (const CurrencyInfo& info : catalog) {
+        EXPECT_GT(info.usd_value, 0.0) << info.code.to_string();
+    }
+    // BTC leads the organic list (Fig 4: first well-known currency).
+    EXPECT_EQ(catalog.front().code.to_string(), "BTC");
+}
+
+TEST(CurrencyCatalogTest, UsdValueFallsBackToOne) {
+    EXPECT_DOUBLE_EQ(usd_value(cur("ZQX")), 1.0);
+    EXPECT_DOUBLE_EQ(usd_value(cur("USD")), 1.0);
+    EXPECT_GT(usd_value(cur("BTC")), 100.0);
+    EXPECT_LT(usd_value(cur("XRP")), 1.0);
+}
+
+}  // namespace
+}  // namespace xrpl::datagen

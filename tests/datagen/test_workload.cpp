@@ -1,0 +1,178 @@
+#include "datagen/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <unordered_set>
+
+#include "datagen/history.hpp"
+
+namespace xrpl::datagen {
+namespace {
+
+GeneratorConfig workload_config() {
+    GeneratorConfig config;
+    config.seed = 31;
+    config.num_users = 600;
+    config.num_gateways = 25;
+    config.num_market_makers = 40;
+    config.num_merchants = 100;
+    config.num_hubs = 12;
+    return config;
+}
+
+class WorkloadTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        rng_ = std::make_unique<util::Rng>(workload_config().seed);
+        population_ = build_population(ledger_, workload_config(), *rng_);
+        engine_ = std::make_unique<paths::PaymentEngine>(ledger_);
+        generator_ = std::make_unique<WorkloadGenerator>(
+            workload_config(), population_, *engine_, *rng_);
+    }
+
+    std::vector<WorkloadOutcome> run_pages(std::size_t pages) {
+        std::vector<WorkloadOutcome> outcomes;
+        util::RippleTime clock = workload_config().start_time;
+        for (std::size_t i = 0; i < pages; ++i) {
+            clock.seconds += 5;
+            generator_->emit_page(
+                clock, [&](const WorkloadOutcome& o) { outcomes.push_back(o); });
+        }
+        return outcomes;
+    }
+
+    ledger::LedgerState ledger_;
+    Population population_;
+    std::unique_ptr<util::Rng> rng_;
+    std::unique_ptr<paths::PaymentEngine> engine_;
+    std::unique_ptr<WorkloadGenerator> generator_;
+};
+
+TEST_F(WorkloadTest, PagesProduceRoughlyTheConfiguredRate) {
+    const auto outcomes = run_pages(20'000);
+    const double per_page = static_cast<double>(outcomes.size()) / 20'000.0;
+    // payments_per_page = 1.44 organic, plus hub refills on top.
+    EXPECT_GT(per_page, 1.1);
+    EXPECT_LT(per_page, 1.9);
+}
+
+TEST_F(WorkloadTest, AllCategoriesAppear) {
+    const auto outcomes = run_pages(20'000);
+    std::array<std::uint64_t, 8> seen{};
+    for (const WorkloadOutcome& o : outcomes) {
+        ++seen[static_cast<std::size_t>(o.category)];
+    }
+    for (std::size_t c = 0; c < seen.size(); ++c) {
+        EXPECT_GT(seen[c], 0u)
+            << category_name(static_cast<PaymentCategory>(c));
+    }
+}
+
+TEST_F(WorkloadTest, RecordsCarryPageCloseTimes) {
+    const auto outcomes = run_pages(500);
+    for (const WorkloadOutcome& o : outcomes) {
+        // Pages tick in 5s steps from the configured start.
+        const std::int64_t offset =
+            o.record.time.seconds - workload_config().start_time.seconds;
+        EXPECT_GE(offset, 0);
+        EXPECT_EQ(offset % 5, 0);
+    }
+}
+
+TEST_F(WorkloadTest, MtlSpamUsesTheSixChains) {
+    const auto outcomes = run_pages(20'000);
+    bool saw_standard = false;
+    for (const WorkloadOutcome& o : outcomes) {
+        if (o.category != PaymentCategory::kMtlSpam) continue;
+        if (o.result.intermediate_hops == 44) continue;  // the one-off outlier
+        saw_standard = true;
+        EXPECT_EQ(o.result.parallel_paths, 6u);
+        EXPECT_EQ(o.result.intermediate_hops, 8u);
+        EXPECT_EQ(o.record.sender, population_.mtl_spammer);
+        EXPECT_EQ(o.record.destination, population_.mtl_target);
+    }
+    EXPECT_TRUE(saw_standard);
+}
+
+TEST_F(WorkloadTest, TheFortyFourHopPaymentHappensExactlyOnce) {
+    const auto outcomes = run_pages(20'000);
+    std::size_t outliers = 0;
+    for (const WorkloadOutcome& o : outcomes) {
+        if (o.result.intermediate_hops == 44) {
+            ++outliers;
+            EXPECT_EQ(o.result.parallel_paths, 1u);
+            EXPECT_EQ(o.category, PaymentCategory::kMtlSpam);
+        }
+    }
+    EXPECT_EQ(outliers, 1u);
+}
+
+TEST_F(WorkloadTest, CckSpamRailsThroughTheMysteryAccounts) {
+    const auto outcomes = run_pages(20'000);
+    std::unordered_set<ledger::AccountID> rails(
+        population_.cck_rails.begin(), population_.cck_rails.end());
+    std::size_t cck = 0;
+    for (const WorkloadOutcome& o : outcomes) {
+        if (o.category != PaymentCategory::kCckSpam) continue;
+        ++cck;
+        ASSERT_EQ(o.result.intermediaries.size(), 1u);
+        EXPECT_TRUE(rails.contains(o.result.intermediaries[0]));
+        EXPECT_EQ(o.result.intermediate_hops, 1u);
+    }
+    EXPECT_GT(cck, 100u);
+}
+
+TEST_F(WorkloadTest, OfferChurnRespectsTheLiveCap) {
+    run_pages(20'000);
+    // Count live offers per maker in the ledger.
+    std::unordered_map<ledger::AccountID, std::size_t> live;
+    for (const auto& [key, offers] : ledger_.books()) {
+        for (const auto& offer : offers) ++live[offer.owner];
+    }
+    for (const auto& [maker, count] : live) {
+        EXPECT_LE(count, workload_config().live_offers_per_maker + 1);
+    }
+    // Placements counted beyond the live cap.
+    EXPECT_GT(generator_->offers_placed_total(), ledger_.offer_count());
+}
+
+TEST_F(WorkloadTest, XrpWhalePaymentsExist) {
+    const auto outcomes = run_pages(20'000);
+    std::size_t whales = 0;
+    for (const WorkloadOutcome& o : outcomes) {
+        if (o.category == PaymentCategory::kXrpOrganic &&
+            o.record.amount.to_double() > 1e7) {
+            ++whales;
+        }
+    }
+    EXPECT_GT(whales, 10u);
+}
+
+TEST_F(WorkloadTest, BurstsShareDestinationAndPage) {
+    const auto outcomes = run_pages(20'000);
+    // Look for >= 2 retail payments to the same merchant at the same
+    // close time from different senders: the burst signature.
+    std::map<std::pair<std::int64_t, ledger::AccountID>,
+             std::unordered_set<ledger::AccountID>>
+        cells;
+    for (const WorkloadOutcome& o : outcomes) {
+        if (o.category != PaymentCategory::kIouRetail) continue;
+        cells[{o.record.time.seconds, o.record.destination}].insert(
+            o.record.sender);
+    }
+    std::size_t bursts = 0;
+    for (const auto& [cell, senders] : cells) {
+        if (senders.size() >= 2) ++bursts;
+    }
+    EXPECT_GT(bursts, 50u);
+}
+
+TEST_F(WorkloadTest, FeesAccumulate) {
+    run_pages(5'000);
+    EXPECT_GT(ledger_.burned_fees().drops, 0);
+}
+
+}  // namespace
+}  // namespace xrpl::datagen

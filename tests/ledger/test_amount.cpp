@@ -1,0 +1,199 @@
+#include "ledger/amount.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace xrpl::ledger {
+namespace {
+
+TEST(XrpAmountTest, ConversionAndArithmetic) {
+    const XrpAmount one = XrpAmount::from_xrp(1.0);
+    EXPECT_EQ(one.drops, 1'000'000);
+    EXPECT_DOUBLE_EQ(one.to_xrp(), 1.0);
+    EXPECT_EQ((one + one).drops, 2'000'000);
+    EXPECT_EQ((one - one).drops, 0);
+}
+
+TEST(IouAmountTest, ZeroByDefault) {
+    const IouAmount zero;
+    EXPECT_TRUE(zero.is_zero());
+    EXPECT_FALSE(zero.is_negative());
+    EXPECT_EQ(zero.to_double(), 0.0);
+    EXPECT_EQ(zero.to_string(), "0");
+}
+
+TEST(IouAmountTest, NormalizationInvariant) {
+    const IouAmount v = IouAmount::from_mantissa_exponent(45, -1);  // 4.5
+    EXPECT_GE(std::abs(v.mantissa()), IouAmount::kMinMantissa);
+    EXPECT_LE(std::abs(v.mantissa()), IouAmount::kMaxMantissa);
+    EXPECT_NEAR(v.to_double(), 4.5, 1e-12);
+}
+
+TEST(IouAmountTest, FromDoubleRoundTrips) {
+    for (const double value : {4.5, 0.001, 123456.789, 1e9, 1e-6, 7.25e11}) {
+        const IouAmount v = IouAmount::from_double(value);
+        EXPECT_NEAR(v.to_double(), value, value * 1e-12) << value;
+    }
+}
+
+TEST(IouAmountTest, NegativeValues) {
+    const IouAmount v = IouAmount::from_double(-42.5);
+    EXPECT_TRUE(v.is_negative());
+    EXPECT_NEAR(v.to_double(), -42.5, 1e-9);
+    EXPECT_FALSE(v.negated().is_negative());
+    EXPECT_NEAR(v.abs().to_double(), 42.5, 1e-9);
+}
+
+TEST(IouAmountTest, UnderflowCollapsesToZero) {
+    EXPECT_TRUE(IouAmount::from_mantissa_exponent(1, -200).is_zero());
+}
+
+TEST(IouAmountTest, OverflowSaturates) {
+    const IouAmount v = IouAmount::from_mantissa_exponent(
+        IouAmount::kMaxMantissa, IouAmount::kMaxExponent + 5);
+    EXPECT_EQ(v.exponent(), IouAmount::kMaxExponent);
+    EXPECT_EQ(v.mantissa(), IouAmount::kMaxMantissa);
+}
+
+TEST(IouAmountTest, AdditionBasics) {
+    const IouAmount a = IouAmount::from_double(1.5);
+    const IouAmount b = IouAmount::from_double(2.25);
+    EXPECT_NEAR((a + b).to_double(), 3.75, 1e-12);
+    EXPECT_NEAR((a - b).to_double(), -0.75, 1e-12);
+}
+
+TEST(IouAmountTest, AdditionWithHugeExponentGapKeepsLarger) {
+    const IouAmount big = IouAmount::from_double(1e20);
+    const IouAmount tiny = IouAmount::from_double(1e-20);
+    EXPECT_EQ(big + tiny, big);
+    EXPECT_EQ(tiny + big, big);
+}
+
+TEST(IouAmountTest, CancellationYieldsExactZero) {
+    const IouAmount a = IouAmount::from_double(123.456);
+    EXPECT_TRUE((a - a).is_zero());
+}
+
+TEST(IouAmountTest, ComparisonOrdering) {
+    const IouAmount neg = IouAmount::from_double(-5.0);
+    const IouAmount zero;
+    const IouAmount small = IouAmount::from_double(1.0);
+    const IouAmount large = IouAmount::from_double(1e10);
+    EXPECT_LT(neg, zero);
+    EXPECT_LT(zero, small);
+    EXPECT_LT(small, large);
+    EXPECT_GT(neg.abs(), small);
+    // Negative magnitudes reverse.
+    EXPECT_LT(IouAmount::from_double(-1e10), IouAmount::from_double(-1.0));
+}
+
+TEST(IouAmountTest, ScaledBy) {
+    const IouAmount v = IouAmount::from_double(100.0);
+    EXPECT_NEAR(v.scaled_by(0.5).to_double(), 50.0, 1e-9);
+    EXPECT_NEAR(v.scaled_by(2.0).to_double(), 200.0, 1e-9);
+    EXPECT_TRUE(v.scaled_by(0.0).is_zero());
+}
+
+TEST(IouAmountTest, RoundToPowerOfTenExamples) {
+    // The paper's Table I medium-currency examples.
+    EXPECT_NEAR(IouAmount::from_double(4.5).round_to_power_of_ten(1).to_double(),
+                0.0, 1e-12);
+    EXPECT_NEAR(IouAmount::from_double(17.0).round_to_power_of_ten(1).to_double(),
+                20.0, 1e-9);
+    EXPECT_NEAR(IouAmount::from_double(14.9).round_to_power_of_ten(1).to_double(),
+                10.0, 1e-9);
+    EXPECT_NEAR(IouAmount::from_double(151.0).round_to_power_of_ten(2).to_double(),
+                200.0, 1e-9);
+    EXPECT_NEAR(IouAmount::from_double(1499.0).round_to_power_of_ten(3).to_double(),
+                1000.0, 1e-9);
+}
+
+TEST(IouAmountTest, RoundToNegativePower) {
+    // Powerful currencies round to thousandths/cents/tenths.
+    EXPECT_NEAR(
+        IouAmount::from_double(0.12345).round_to_power_of_ten(-3).to_double(),
+        0.123, 1e-12);
+    EXPECT_NEAR(
+        IouAmount::from_double(0.12345).round_to_power_of_ten(-2).to_double(),
+        0.12, 1e-12);
+    EXPECT_NEAR(
+        IouAmount::from_double(0.12345).round_to_power_of_ten(-1).to_double(), 0.1,
+        1e-12);
+}
+
+TEST(IouAmountTest, RoundTiesAwayFromZero) {
+    EXPECT_NEAR(IouAmount::from_double(15.0).round_to_power_of_ten(1).to_double(),
+                20.0, 1e-9);
+    EXPECT_NEAR(IouAmount::from_double(-15.0).round_to_power_of_ten(1).to_double(),
+                -20.0, 1e-9);
+    EXPECT_NEAR(IouAmount::from_double(25.0).round_to_power_of_ten(1).to_double(),
+                30.0, 1e-9);
+}
+
+TEST(IouAmountTest, RoundingSmallValueToCoarseUnitGivesZero) {
+    EXPECT_TRUE(IouAmount::from_double(3.0).round_to_power_of_ten(5).is_zero());
+}
+
+TEST(IouAmountTest, RoundingIsIdempotent) {
+    util::Rng rng(99);
+    for (int i = 0; i < 200; ++i) {
+        const IouAmount v = IouAmount::from_double(rng.lognormal(3.0, 4.0));
+        for (const int power : {-3, -1, 0, 1, 2, 5}) {
+            const IouAmount once = v.round_to_power_of_ten(power);
+            EXPECT_EQ(once.round_to_power_of_ten(power), once);
+        }
+    }
+}
+
+TEST(IouAmountTest, ToStringFormats) {
+    EXPECT_EQ(IouAmount::from_double(4.5).to_string(), "4.5");
+    EXPECT_EQ(IouAmount::from_double(-4.5).to_string(), "-4.5");
+    EXPECT_EQ(IouAmount::from_double(1000.0).to_string(), "1000");
+    EXPECT_EQ(IouAmount::from_double(0.5).to_string(), "0.5");
+    EXPECT_EQ(IouAmount::from_int(42).to_string(), "42");
+}
+
+TEST(IouAmountTest, ToStringExtremeUsesScientific) {
+    const std::string huge = IouAmount::from_double(1e30).to_string();
+    EXPECT_NE(huge.find('e'), std::string::npos);
+    const std::string tiny = IouAmount::from_double(1e-30).to_string();
+    EXPECT_NE(tiny.find('e'), std::string::npos);
+}
+
+TEST(IouAmountTest, HoldsMtlSpamMagnitudes) {
+    // The paper observes ~1e22 accumulated MTL debt.
+    const IouAmount debt = IouAmount::from_double(1e22);
+    EXPECT_NEAR(debt.to_double(), 1e22, 1e10);
+    const IouAmount sum = debt + IouAmount::from_double(1e9);
+    EXPECT_GE(sum, debt);
+}
+
+// Property sweep: addition is commutative and monotone under the
+// precision model.
+class IouAdditionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IouAdditionProperty, CommutativeAndOrderPreserving) {
+    util::Rng rng(GetParam());
+    for (int i = 0; i < 500; ++i) {
+        const IouAmount a = IouAmount::from_double(rng.lognormal(0.0, 6.0));
+        const IouAmount b = IouAmount::from_double(rng.lognormal(0.0, 6.0));
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_GE(a + b, a);  // b positive
+        EXPECT_GE(a + b, b);
+        const IouAmount difference = (a + b) - b;
+        // Within a decimal ulp of the larger operand (alignment can
+        // discard digits of the smaller one).
+        const double ulp =
+            (std::abs(a.to_double()) + std::abs(b.to_double())) * 1e-12 + 1e-30;
+        EXPECT_NEAR(difference.to_double(), a.to_double(), ulp);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IouAdditionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace xrpl::ledger

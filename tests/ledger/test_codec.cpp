@@ -1,0 +1,113 @@
+#include "ledger/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace xrpl::ledger {
+namespace {
+
+std::vector<TxRecord> sample_records(std::size_t n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<TxRecord> records;
+    records.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        TxRecord r;
+        r.sender =
+            AccountID::from_seed("s" + std::to_string(rng.uniform_u64(0, 99)));
+        r.destination =
+            AccountID::from_seed("d" + std::to_string(rng.uniform_u64(0, 9)));
+        r.currency =
+            Currency::from_code(rng.bernoulli(0.3) ? "XRP" : "USD");
+        r.amount = IouAmount::from_double(rng.lognormal(2.0, 3.0));
+        if (rng.bernoulli(0.1)) r.amount = r.amount.negated();
+        r.time = util::RippleTime{
+            static_cast<std::int64_t>(rng.uniform_u64(0, 100'000'000))};
+        records.push_back(r);
+    }
+    return records;
+}
+
+TEST(CodecTest, RoundTripsEmpty) {
+    const std::vector<TxRecord> empty;
+    const auto decoded = decode_records(encode_records(empty));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->empty());
+}
+
+TEST(CodecTest, RoundTripsRecordsExactly) {
+    const auto records = sample_records(500, 3);
+    const auto decoded = decode_records(encode_records(records));
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ((*decoded)[i].sender, records[i].sender);
+        EXPECT_EQ((*decoded)[i].destination, records[i].destination);
+        EXPECT_EQ((*decoded)[i].currency, records[i].currency);
+        EXPECT_EQ((*decoded)[i].amount, records[i].amount);
+        EXPECT_EQ((*decoded)[i].time.seconds, records[i].time.seconds);
+    }
+}
+
+TEST(CodecTest, PreservesExtremeAmounts) {
+    std::vector<TxRecord> records(3);
+    records[0].amount = IouAmount::from_double(1e22);   // MTL debt scale
+    records[1].amount = IouAmount::from_double(-1e-9);  // tiny negative
+    records[2].amount = IouAmount{};                    // zero
+    const auto decoded = decode_records(encode_records(records));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ((*decoded)[0].amount, records[0].amount);
+    EXPECT_EQ((*decoded)[1].amount, records[1].amount);
+    EXPECT_TRUE((*decoded)[2].amount.is_zero());
+}
+
+TEST(CodecTest, RejectsCorruptedPayload) {
+    const auto records = sample_records(50, 4);
+    auto bytes = encode_records(records);
+    bytes[40] ^= 0x01;  // flip a payload bit
+    EXPECT_FALSE(decode_records(bytes).has_value());
+}
+
+TEST(CodecTest, RejectsTruncatedStream) {
+    const auto records = sample_records(50, 5);
+    auto bytes = encode_records(records);
+    bytes.resize(bytes.size() - 10);
+    EXPECT_FALSE(decode_records(bytes).has_value());
+    EXPECT_FALSE(decode_records(std::vector<std::uint8_t>(4, 0)).has_value());
+}
+
+TEST(CodecTest, RejectsWrongMagicAndVersion) {
+    const auto records = sample_records(5, 6);
+    {
+        auto bytes = encode_records(records);
+        bytes[0] ^= 0xff;  // corrupt magic (checksum catches it first,
+                           // but either way it must fail)
+        EXPECT_FALSE(decode_records(bytes).has_value());
+    }
+}
+
+TEST(CodecTest, FileRoundTrip) {
+    const auto records = sample_records(200, 7);
+    const std::string path = "/tmp/xrpl_codec_test.bin";
+    ASSERT_TRUE(save_records(path, records));
+    const auto loaded = load_records(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->size(), records.size());
+    EXPECT_EQ(loaded->back().sender, records.back().sender);
+    std::remove(path.c_str());
+}
+
+TEST(CodecTest, LoadMissingFileFails) {
+    EXPECT_FALSE(load_records("/tmp/does-not-exist-xrpl.bin").has_value());
+}
+
+TEST(CodecTest, EncodingIsDeterministic) {
+    const auto records = sample_records(100, 8);
+    EXPECT_EQ(encode_records(records), encode_records(records));
+}
+
+}  // namespace
+}  // namespace xrpl::ledger

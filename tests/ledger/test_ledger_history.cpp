@@ -1,0 +1,75 @@
+#include "ledger/ledger_history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xrpl::ledger {
+namespace {
+
+Hash256 tx_hash(int i) {
+    Hash256 h;
+    h.bytes[0] = static_cast<std::uint8_t>(i);
+    h.bytes[1] = static_cast<std::uint8_t>(i >> 8);
+    return h;
+}
+
+TEST(LedgerHistoryTest, AppendsSequentialPages) {
+    LedgerHistory history;
+    EXPECT_TRUE(history.empty());
+    history.append(util::RippleTime{100}, {tx_hash(1)});
+    history.append(util::RippleTime{105}, {tx_hash(2), tx_hash(3)});
+    EXPECT_EQ(history.size(), 2u);
+    EXPECT_EQ(history.page(0).sequence, 1u);
+    EXPECT_EQ(history.page(1).sequence, 2u);
+    EXPECT_EQ(history.last().tx_ids.size(), 2u);
+}
+
+TEST(LedgerHistoryTest, PagesChainByParentHash) {
+    LedgerHistory history;
+    history.append(util::RippleTime{100}, {});
+    history.append(util::RippleTime{105}, {});
+    EXPECT_EQ(history.page(0).parent_hash, Hash256{});
+    EXPECT_EQ(history.page(1).parent_hash, history.page(0).hash);
+}
+
+TEST(LedgerHistoryTest, VerifyChainAcceptsHonestHistory) {
+    LedgerHistory history;
+    for (int i = 0; i < 50; ++i) {
+        history.append(util::RippleTime{100 + i * 5}, {tx_hash(i)});
+    }
+    EXPECT_EQ(history.verify_chain(), history.size());
+}
+
+TEST(LedgerHistoryTest, HashCoversCloseTime) {
+    const Hash256 a = compute_page_hash(1, Hash256{}, util::RippleTime{100}, {});
+    const Hash256 b = compute_page_hash(1, Hash256{}, util::RippleTime{101}, {});
+    EXPECT_NE(a, b);
+}
+
+TEST(LedgerHistoryTest, HashCoversSequenceAndParent) {
+    const Hash256 base = compute_page_hash(1, Hash256{}, util::RippleTime{100}, {});
+    EXPECT_NE(compute_page_hash(2, Hash256{}, util::RippleTime{100}, {}), base);
+    Hash256 parent;
+    parent.bytes[5] = 0x77;
+    EXPECT_NE(compute_page_hash(1, parent, util::RippleTime{100}, {}), base);
+}
+
+TEST(LedgerHistoryTest, HashCoversTransactionsAndTheirOrder) {
+    const std::vector<Hash256> forward = {tx_hash(1), tx_hash(2)};
+    const std::vector<Hash256> reversed = {tx_hash(2), tx_hash(1)};
+    const Hash256 a = compute_page_hash(1, Hash256{}, util::RippleTime{100}, forward);
+    const Hash256 b = compute_page_hash(1, Hash256{}, util::RippleTime{100}, reversed);
+    EXPECT_NE(a, b);
+    const Hash256 c = compute_page_hash(1, Hash256{}, util::RippleTime{100}, {});
+    EXPECT_NE(a, c);
+}
+
+TEST(LedgerHistoryTest, DistinctHistoriesDistinctHeads) {
+    LedgerHistory a;
+    LedgerHistory b;
+    a.append(util::RippleTime{100}, {tx_hash(1)});
+    b.append(util::RippleTime{100}, {tx_hash(2)});
+    EXPECT_NE(a.last().hash, b.last().hash);
+}
+
+}  // namespace
+}  // namespace xrpl::ledger

@@ -1,0 +1,99 @@
+#include "ledger/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xrpl::ledger {
+namespace {
+
+Transaction sample_payment() {
+    Transaction tx;
+    tx.type = TxType::kPayment;
+    tx.sender = AccountID::from_seed("sender");
+    tx.destination = AccountID::from_seed("destination");
+    tx.sequence = 7;
+    tx.submit_time = util::from_calendar(2015, 8, 24, 15, 41, 3);
+    tx.amount = Amount::iou(Currency::from_code("USD"), 4.5);
+    tx.source_currency = Currency::from_code("USD");
+    return tx;
+}
+
+TEST(TransactionTest, SerializationIsDeterministic) {
+    EXPECT_EQ(sample_payment().serialize(), sample_payment().serialize());
+}
+
+TEST(TransactionTest, IdIsStable) {
+    EXPECT_EQ(sample_payment().id(), sample_payment().id());
+}
+
+TEST(TransactionTest, AnyFieldChangeChangesId) {
+    const Hash256 base = sample_payment().id();
+
+    Transaction tx = sample_payment();
+    tx.sequence = 8;
+    EXPECT_NE(tx.id(), base);
+
+    tx = sample_payment();
+    tx.amount = Amount::iou(Currency::from_code("USD"), 4.6);
+    EXPECT_NE(tx.id(), base);
+
+    tx = sample_payment();
+    tx.destination = AccountID::from_seed("other");
+    EXPECT_NE(tx.id(), base);
+
+    tx = sample_payment();
+    tx.submit_time.seconds += 1;
+    EXPECT_NE(tx.id(), base);
+
+    tx = sample_payment();
+    tx.type = TxType::kTrustSet;
+    EXPECT_NE(tx.id(), base);
+
+    tx = sample_payment();
+    tx.source_currency = Currency::from_code("EUR");
+    EXPECT_NE(tx.id(), base);
+}
+
+TEST(TransactionTest, SerializationLengthIsFixed) {
+    // All fields always serialize, so any two transactions have
+    // equal-length canonical forms.
+    Transaction offer;
+    offer.type = TxType::kOfferCreate;
+    offer.sender = AccountID::from_seed("maker");
+    offer.taker_pays = Amount::iou(Currency::from_code("USD"), 100.0);
+    offer.taker_gets = Amount::iou(Currency::from_code("BTC"), 0.2);
+    EXPECT_EQ(offer.serialize().size(), sample_payment().serialize().size());
+}
+
+TEST(TransactionTest, PathsFieldIsPartOfTheId) {
+    Transaction with_paths = sample_payment();
+    with_paths.paths = {{with_paths.sender, AccountID::from_seed("via"),
+                         with_paths.destination}};
+    EXPECT_NE(with_paths.id(), sample_payment().id());
+    // Path order matters.
+    Transaction reordered = with_paths;
+    reordered.paths.push_back(
+        {reordered.sender, reordered.destination});
+    EXPECT_NE(reordered.id(), with_paths.id());
+}
+
+TEST(TxRecordTest, HoldsTheFivePaperFeatures) {
+    TxRecord record;
+    record.sender = AccountID::from_seed("S");
+    record.amount = IouAmount::from_double(4.5);
+    record.time = util::from_calendar(2015, 8, 24, 15, 41, 3);
+    record.currency = Currency::from_code("USD");
+    record.destination = AccountID::from_seed("D");
+    EXPECT_EQ(record.currency.to_string(), "USD");
+    EXPECT_NEAR(record.amount.to_double(), 4.5, 1e-12);
+}
+
+TEST(TxResultTest, DefaultIsFailure) {
+    const TxResult result;
+    EXPECT_FALSE(result.success);
+    EXPECT_EQ(result.intermediate_hops, 0u);
+    EXPECT_EQ(result.parallel_paths, 0u);
+    EXPECT_TRUE(result.intermediaries.empty());
+}
+
+}  // namespace
+}  // namespace xrpl::ledger

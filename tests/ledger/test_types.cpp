@@ -1,0 +1,97 @@
+#include "ledger/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace xrpl::ledger {
+namespace {
+
+TEST(AccountIDTest, FromSeedIsDeterministic) {
+    EXPECT_EQ(AccountID::from_seed("alice"), AccountID::from_seed("alice"));
+    EXPECT_NE(AccountID::from_seed("alice"), AccountID::from_seed("bob"));
+}
+
+TEST(AccountIDTest, AddressStartsWithR) {
+    const AccountID id = AccountID::from_seed("alice");
+    EXPECT_EQ(id.to_address().front(), 'r');
+}
+
+TEST(AccountIDTest, AddressRoundTrips) {
+    const AccountID id = AccountID::from_seed("carol");
+    const auto parsed = AccountID::from_address(id.to_address());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, id);
+}
+
+TEST(AccountIDTest, CorruptAddressRejected) {
+    const AccountID id = AccountID::from_seed("dave");
+    std::string address = id.to_address();
+    address[10] = address[10] == 'a' ? 'b' : 'a';
+    EXPECT_FALSE(AccountID::from_address(address).has_value());
+}
+
+TEST(AccountIDTest, ShortDisplayHasEllipsis) {
+    const AccountID id = AccountID::from_seed("erin");
+    const std::string display = id.short_display();
+    EXPECT_NE(display.find("..."), std::string::npos);
+    EXPECT_EQ(display.size(), 15u);  // 6 + 3 + 6
+    EXPECT_EQ(display.front(), 'r');
+}
+
+TEST(AccountIDTest, ZeroAccountIsZero) {
+    EXPECT_TRUE(AccountID::zero().is_zero());
+    EXPECT_FALSE(AccountID::from_seed("x").is_zero());
+}
+
+TEST(AccountIDTest, HashDistributesAccounts) {
+    std::unordered_set<AccountID> accounts;
+    for (int i = 0; i < 1000; ++i) {
+        accounts.insert(AccountID::from_seed("account-" + std::to_string(i)));
+    }
+    EXPECT_EQ(accounts.size(), 1000u);
+}
+
+TEST(CurrencyTest, DefaultIsXrp) {
+    EXPECT_TRUE(Currency{}.is_xrp());
+    EXPECT_TRUE(Currency::xrp().is_xrp());
+    EXPECT_EQ(Currency::xrp().to_string(), "XRP");
+}
+
+TEST(CurrencyTest, FromCodeRoundTrips) {
+    EXPECT_EQ(Currency::from_code("USD").to_string(), "USD");
+    EXPECT_EQ(Currency::from_code("BTC").to_string(), "BTC");
+    EXPECT_FALSE(Currency::from_code("USD").is_xrp());
+}
+
+TEST(CurrencyTest, ShortCodesArePadded) {
+    const Currency c = Currency::from_code("ab");
+    EXPECT_EQ(c.to_string(), "ab");
+}
+
+TEST(CurrencyTest, ComparisonAndEquality) {
+    EXPECT_EQ(Currency::from_code("USD"), Currency::from_code("USD"));
+    EXPECT_NE(Currency::from_code("USD"), Currency::from_code("EUR"));
+}
+
+TEST(IssueTest, EqualityRequiresBothFields) {
+    const Issue a{Currency::from_code("USD"), AccountID::from_seed("gw1")};
+    const Issue b{Currency::from_code("USD"), AccountID::from_seed("gw2")};
+    const Issue c{Currency::from_code("EUR"), AccountID::from_seed("gw1")};
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(a, (Issue{Currency::from_code("USD"), AccountID::from_seed("gw1")}));
+}
+
+TEST(Hash256Test, HexRendering) {
+    Hash256 h;
+    h.bytes[0] = 0xab;
+    h.bytes[31] = 0x01;
+    const std::string hex = h.to_hex();
+    EXPECT_EQ(hex.size(), 64u);
+    EXPECT_EQ(hex.substr(0, 2), "ab");
+    EXPECT_EQ(hex.substr(62, 2), "01");
+}
+
+}  // namespace
+}  // namespace xrpl::ledger

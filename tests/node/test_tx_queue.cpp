@@ -1,0 +1,133 @@
+#include "node/tx_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xrpl::node {
+namespace {
+
+using ledger::AccountID;
+using ledger::Amount;
+using ledger::Currency;
+using ledger::Transaction;
+using ledger::XrpAmount;
+
+Transaction payment(const std::string& sender, std::uint32_t sequence,
+                    double amount = 10.0) {
+    Transaction tx;
+    tx.type = ledger::TxType::kPayment;
+    tx.sender = AccountID::from_seed(sender);
+    tx.sequence = sequence;
+    tx.destination = AccountID::from_seed("dest");
+    tx.amount = Amount::xrp(amount);
+    tx.source_currency = Currency::xrp();
+    return tx;
+}
+
+TEST(TxQueueTest, SubmitAndDrain) {
+    TransactionQueue queue;
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.submit(payment("a", 1), XrpAmount{10}),
+              TransactionQueue::SubmitResult::kQueued);
+    EXPECT_EQ(queue.size(), 1u);
+    const auto batch = queue.next_batch(10);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(TxQueueTest, DuplicateIdsRejected) {
+    TransactionQueue queue;
+    const Transaction tx = payment("a", 1);
+    EXPECT_EQ(queue.submit(tx, XrpAmount{10}),
+              TransactionQueue::SubmitResult::kQueued);
+    EXPECT_EQ(queue.submit(tx, XrpAmount{50}),
+              TransactionQueue::SubmitResult::kDuplicate);
+    EXPECT_EQ(queue.size(), 1u);
+    // After popping, the same transaction may be submitted again.
+    (void)queue.next_batch(1);
+    EXPECT_EQ(queue.submit(tx, XrpAmount{10}),
+              TransactionQueue::SubmitResult::kQueued);
+}
+
+TEST(TxQueueTest, CapacityEnforced) {
+    TransactionQueue queue(2);
+    EXPECT_EQ(queue.submit(payment("a", 1), XrpAmount{1}),
+              TransactionQueue::SubmitResult::kQueued);
+    EXPECT_EQ(queue.submit(payment("a", 2), XrpAmount{1}),
+              TransactionQueue::SubmitResult::kQueued);
+    EXPECT_EQ(queue.submit(payment("a", 3), XrpAmount{1}),
+              TransactionQueue::SubmitResult::kFull);
+}
+
+TEST(TxQueueTest, HigherFeesPopFirst) {
+    TransactionQueue queue;
+    (void)queue.submit(payment("cheap", 1), XrpAmount{10});
+    (void)queue.submit(payment("rich", 1), XrpAmount{500});
+    (void)queue.submit(payment("mid", 1), XrpAmount{100});
+    const auto batch = queue.next_batch(3);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0].sender, AccountID::from_seed("rich"));
+    EXPECT_EQ(batch[1].sender, AccountID::from_seed("mid"));
+    EXPECT_EQ(batch[2].sender, AccountID::from_seed("cheap"));
+}
+
+TEST(TxQueueTest, PerAccountOrderBeatsFees) {
+    // An account's second transaction cannot jump its first, even
+    // with a much higher fee.
+    TransactionQueue queue;
+    (void)queue.submit(payment("a", 1), XrpAmount{10});
+    (void)queue.submit(payment("a", 2), XrpAmount{9'999});
+    const auto batch = queue.next_batch(2);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].sequence, 1u);
+    EXPECT_EQ(batch[1].sequence, 2u);
+}
+
+TEST(TxQueueTest, EqualFeesAreFifo) {
+    TransactionQueue queue;
+    (void)queue.submit(payment("first", 1), XrpAmount{10});
+    (void)queue.submit(payment("second", 1), XrpAmount{10});
+    const auto batch = queue.next_batch(2);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].sender, AccountID::from_seed("first"));
+}
+
+TEST(TxQueueTest, BatchSizeRespected) {
+    TransactionQueue queue;
+    for (int i = 0; i < 10; ++i) {
+        (void)queue.submit(payment("acc" + std::to_string(i), 1), XrpAmount{10});
+    }
+    EXPECT_EQ(queue.next_batch(4).size(), 4u);
+    EXPECT_EQ(queue.size(), 6u);
+}
+
+TEST(TxQueueTest, RequeuePreservesOrderAndPriority) {
+    TransactionQueue queue;
+    (void)queue.submit(payment("a", 1), XrpAmount{10});
+    (void)queue.submit(payment("a", 2), XrpAmount{10});
+    (void)queue.submit(payment("b", 1), XrpAmount{10});
+    auto batch = queue.next_batch(3);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_TRUE(queue.empty());
+
+    // A fresh low-fee transaction arrives, then the batch is requeued
+    // (failed round): the requeued ones come back out FIRST.
+    (void)queue.submit(payment("latecomer", 1), XrpAmount{5});
+    queue.requeue(batch);
+    EXPECT_EQ(queue.size(), 4u);
+    const auto retry = queue.next_batch(4);
+    ASSERT_EQ(retry.size(), 4u);
+    EXPECT_EQ(retry.back().sender, AccountID::from_seed("latecomer"));
+    // a's sequence order survived the round trip.
+    std::uint32_t last_a = 0;
+    for (const auto& tx : retry) {
+        if (tx.sender == AccountID::from_seed("a")) {
+            EXPECT_GT(tx.sequence, last_a);
+            last_a = tx.sequence;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace xrpl::node

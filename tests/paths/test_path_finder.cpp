@@ -1,0 +1,222 @@
+#include "paths/path_finder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xrpl::paths {
+namespace {
+
+using ledger::AccountID;
+using ledger::Currency;
+using ledger::IouAmount;
+using ledger::LedgerState;
+
+const Currency kUsd = Currency::from_code("USD");
+
+class PathFinderTest : public ::testing::Test {
+protected:
+    AccountID add(const std::string& seed) {
+        const AccountID id = AccountID::from_seed(seed);
+        state_.create_account(id, ledger::XrpAmount::from_xrp(10.0), false, true);
+        return id;
+    }
+
+    /// Allow value to flow from -> to up to `limit` (receiver trusts).
+    void edge(const AccountID& from, const AccountID& to, double limit) {
+        state_.set_trust(to, from, kUsd, IouAmount::from_double(limit));
+    }
+
+    LedgerState state_;
+    PathFinder finder_;
+};
+
+TEST_F(PathFinderTest, FindsDirectEdge) {
+    const AccountID a = add("a");
+    const AccountID b = add("b");
+    edge(a, b, 50.0);
+    const TrustGraph graph(state_);
+    const auto path = finder_.find(graph, a, b, kUsd);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->nodes, (std::vector<AccountID>{a, b}));
+    EXPECT_EQ(path->intermediate_hops(), 0u);
+    EXPECT_NEAR(path->capacity.to_double(), 50.0, 1e-9);
+}
+
+TEST_F(PathFinderTest, FindsTwoHopPathThroughGateway) {
+    const AccountID user = add("user");
+    const AccountID gateway = add("gateway");
+    const AccountID merchant = add("merchant");
+    edge(user, gateway, 30.0);
+    edge(gateway, merchant, 100.0);
+    const TrustGraph graph(state_);
+    const auto path = finder_.find(graph, user, merchant, kUsd);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->nodes, (std::vector<AccountID>{user, gateway, merchant}));
+    EXPECT_EQ(path->intermediate_hops(), 1u);
+    EXPECT_NEAR(path->capacity.to_double(), 30.0, 1e-9);  // bottleneck
+}
+
+TEST_F(PathFinderTest, PrefersShortestPath) {
+    const AccountID a = add("a");
+    const AccountID b = add("b");
+    const AccountID x = add("x");
+    const AccountID y = add("y");
+    // Long route a -> x -> y -> b and short route a -> b.
+    edge(a, x, 10.0);
+    edge(x, y, 10.0);
+    edge(y, b, 10.0);
+    edge(a, b, 5.0);
+    const TrustGraph graph(state_);
+    const auto path = finder_.find(graph, a, b, kUsd);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->nodes.size(), 2u);
+}
+
+TEST_F(PathFinderTest, NoPathReturnsNullopt) {
+    const AccountID a = add("a");
+    const AccountID b = add("b");
+    const TrustGraph graph(state_);
+    EXPECT_FALSE(finder_.find(graph, a, b, kUsd).has_value());
+}
+
+TEST_F(PathFinderTest, DirectionalityRespected) {
+    const AccountID a = add("a");
+    const AccountID b = add("b");
+    edge(a, b, 50.0);  // only a -> b
+    const TrustGraph graph(state_);
+    EXPECT_TRUE(finder_.find(graph, a, b, kUsd).has_value());
+    EXPECT_FALSE(finder_.find(graph, b, a, kUsd).has_value());
+}
+
+TEST_F(PathFinderTest, ZeroCapacityEdgeIsUnusable) {
+    const AccountID a = add("a");
+    const AccountID b = add("b");
+    edge(a, b, 50.0);
+    ledger::TrustLine* line = state_.trustline(a, b, kUsd);
+    ASSERT_TRUE(line->transfer_from(a, IouAmount::from_double(50.0)));
+    const TrustGraph graph(state_);
+    EXPECT_FALSE(finder_.find(graph, a, b, kUsd).has_value());
+}
+
+TEST_F(PathFinderTest, ExcludedIntermediateAvoided) {
+    const AccountID a = add("a");
+    const AccountID via1 = add("via1");
+    const AccountID via2 = add("via2");
+    const AccountID b = add("b");
+    edge(a, via1, 10.0);
+    edge(via1, b, 10.0);
+    edge(a, via2, 10.0);
+    edge(via2, b, 10.0);
+    TrustGraph graph(state_);
+    graph.exclude(via1);
+    const auto path = finder_.find(graph, a, b, kUsd);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->nodes[1], via2);
+}
+
+TEST_F(PathFinderTest, ExcludedEndpointFails) {
+    const AccountID a = add("a");
+    const AccountID b = add("b");
+    edge(a, b, 10.0);
+    TrustGraph graph(state_);
+    graph.exclude(b);
+    EXPECT_FALSE(finder_.find(graph, a, b, kUsd).has_value());
+}
+
+TEST_F(PathFinderTest, SameSourceAndDestinationRejected) {
+    const AccountID a = add("a");
+    const TrustGraph graph(state_);
+    EXPECT_FALSE(finder_.find(graph, a, a, kUsd).has_value());
+}
+
+TEST_F(PathFinderTest, RespectsDepthLimit) {
+    // A chain of 6 intermediates with a finder capped at 4.
+    std::vector<AccountID> chain;
+    chain.push_back(add("n0"));
+    for (int i = 1; i <= 7; ++i) {
+        chain.push_back(add("n" + std::to_string(i)));
+        edge(chain[i - 1], chain[i], 10.0);
+    }
+    PathFinderConfig config;
+    config.max_intermediate_hops = 4;
+    PathFinder capped(config);
+    const TrustGraph graph(state_);
+    EXPECT_FALSE(capped.find(graph, chain.front(), chain.back(), kUsd).has_value());
+
+    PathFinderConfig loose;
+    loose.max_intermediate_hops = 6;
+    PathFinder generous(loose);
+    const auto path = generous.find(graph, chain.front(), chain.back(), kUsd);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->intermediate_hops(), 6u);
+}
+
+TEST_F(PathFinderTest, FindsEightHopSpamChain) {
+    // The MTL spam shape: 8 intermediates.
+    std::vector<AccountID> chain;
+    chain.push_back(add("spammer"));
+    for (int i = 1; i <= 8; ++i) chain.push_back(add("shill" + std::to_string(i)));
+    chain.push_back(add("target"));
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+        edge(chain[i], chain[i + 1], 1e9);
+    }
+    const TrustGraph graph(state_);
+    const auto path = finder_.find(graph, chain.front(), chain.back(), kUsd);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->intermediate_hops(), 8u);
+    EXPECT_EQ(path->nodes, chain);
+}
+
+TEST_F(PathFinderTest, ScratchBuffersSurviveReuse) {
+    const AccountID a = add("a");
+    const AccountID b = add("b");
+    const AccountID c = add("c");
+    edge(a, b, 10.0);
+    edge(b, c, 10.0);
+    const TrustGraph graph(state_);
+    for (int i = 0; i < 100; ++i) {
+        const auto path = finder_.find(graph, a, c, kUsd);
+        ASSERT_TRUE(path.has_value());
+        EXPECT_EQ(path->nodes.size(), 3u);
+    }
+}
+
+TEST_F(PathFinderTest, NoRippleAccountsBlockInteriorRouting) {
+    // A user that does not enable DefaultRipple cannot be used as an
+    // intermediate hop, even with capacity on both sides.
+    const AccountID a = add("a");
+    const AccountID b = add("b");
+    const AccountID locked = AccountID::from_seed("locked");
+    state_.create_account(locked, ledger::XrpAmount::from_xrp(10.0), false,
+                          /*allows_rippling=*/false);
+    edge(a, locked, 100.0);
+    edge(locked, b, 100.0);
+    const TrustGraph graph(state_);
+    EXPECT_FALSE(finder_.find(graph, a, b, kUsd).has_value());
+    // But it can still be a destination...
+    EXPECT_TRUE(finder_.find(graph, a, locked, kUsd).has_value());
+    // ...and a sender.
+    EXPECT_TRUE(finder_.find(graph, locked, b, kUsd).has_value());
+}
+
+TEST_F(PathFinderTest, HubTopologyFindsFourHopRoute) {
+    // user -> minorG -> hub -> majorG -> merchant.
+    const AccountID user = add("user");
+    const AccountID minor = add("minorG");
+    const AccountID hub = add("hub");
+    const AccountID major = add("majorG");
+    const AccountID merchant = add("merchant");
+    edge(user, minor, 100.0);
+    edge(minor, hub, 1000.0);
+    edge(hub, major, 1000.0);
+    edge(major, merchant, 1000.0);
+    const TrustGraph graph(state_);
+    const auto path = finder_.find(graph, user, merchant, kUsd);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->intermediate_hops(), 3u);
+    EXPECT_NEAR(path->capacity.to_double(), 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace xrpl::paths

@@ -1,0 +1,142 @@
+#include "paths/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xrpl::paths {
+namespace {
+
+using ledger::AccountID;
+using ledger::Amount;
+using ledger::Currency;
+using ledger::IouAmount;
+using ledger::LedgerState;
+using ledger::XrpAmount;
+
+const Currency kUsd = Currency::from_code("USD");
+const Currency kEur = Currency::from_code("EUR");
+
+/// A miniature Table II world: one user with USD, one EUR merchant,
+/// one USD merchant reachable only through the Market Maker's hub
+/// position, and one USD merchant reachable directly.
+class ReplayTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        user_ = add("user");
+        g_usd_ = add("g-usd");
+        g_eur_ = add("g-eur");
+        maker_ = add("maker", 1e6);
+        eur_merchant_ = add("eur-merchant");
+        direct_merchant_ = add("direct-merchant");
+
+        fund(g_usd_, user_, kUsd, 1000.0);
+        fund(g_usd_, maker_, kUsd, 10'000.0);
+        fund(g_eur_, maker_, kEur, 10'000.0);
+        edge(g_eur_, eur_merchant_, kEur, 1e6);
+        edge(g_usd_, direct_merchant_, kUsd, 1e6);
+        state_.place_offer(maker_, Amount::iou(kUsd, 1300.0),
+                           Amount::iou(kEur, 1000.0));
+    }
+
+    AccountID add(const std::string& seed, double xrp = 1000.0) {
+        const AccountID id = AccountID::from_seed(seed);
+        state_.create_account(id, XrpAmount::from_xrp(xrp), false, true);
+        return id;
+    }
+
+    void edge(const AccountID& from, const AccountID& to, Currency c, double limit) {
+        state_.set_trust(to, from, c, IouAmount::from_double(limit));
+    }
+
+    void fund(const AccountID& gateway, const AccountID& holder, Currency c,
+              double amount) {
+        ledger::TrustLine& line =
+            state_.set_trust(holder, gateway, c, IouAmount::from_double(1e9));
+        ASSERT_TRUE(line.transfer_from(gateway, IouAmount::from_double(amount)));
+    }
+
+    [[nodiscard]] std::vector<PaymentRequest> workload() const {
+        PaymentRequest cross;
+        cross.sender = user_;
+        cross.destination = eur_merchant_;
+        cross.deliver = Amount::iou(kEur, 50.0);
+        cross.source_currency = kUsd;
+
+        PaymentRequest single;
+        single.sender = user_;
+        single.destination = direct_merchant_;
+        single.deliver = Amount::iou(kUsd, 20.0);
+        single.source_currency = kUsd;
+
+        return {cross, single, cross, single};
+    }
+
+    LedgerState state_;
+    AccountID user_, g_usd_, g_eur_, maker_, eur_merchant_, direct_merchant_;
+};
+
+TEST_F(ReplayTest, BaselineDeliversEverything) {
+    LedgerState world = state_.clone();
+    PaymentEngine engine(world);
+    const auto payments = workload();
+    const ReplayStats stats = replay(engine, payments);
+    EXPECT_EQ(stats.cross_submitted, 2u);
+    EXPECT_EQ(stats.cross_delivered, 2u);
+    EXPECT_EQ(stats.single_submitted, 2u);
+    EXPECT_EQ(stats.single_delivered, 2u);
+    EXPECT_DOUBLE_EQ(stats.total_rate(), 1.0);
+}
+
+TEST_F(ReplayTest, WithoutMakersCrossCurrencyAllFail) {
+    LedgerState world = state_.clone();
+    PaymentEngine engine(world);
+    const auto payments = workload();
+    const std::vector<AccountID> removed = {maker_};
+    const ReplayStats stats = replay_without(engine, payments, removed, true);
+    EXPECT_EQ(stats.cross_delivered, 0u);
+    EXPECT_DOUBLE_EQ(stats.cross_rate(), 0.0);
+    // The direct single-currency route survives.
+    EXPECT_EQ(stats.single_delivered, 2u);
+}
+
+TEST_F(ReplayTest, RemovalDoesNotTouchTheOriginalSnapshot) {
+    LedgerState world = state_.clone();
+    {
+        PaymentEngine engine(world);
+        const auto payments = workload();
+        const std::vector<AccountID> removed = {maker_};
+        (void)replay_without(engine, payments, removed, true);
+    }
+    // The pristine snapshot still has the maker's offer.
+    EXPECT_EQ(state_.offer_count(), 1u);
+    // And the replayed world does not.
+    EXPECT_EQ(world.offer_count(), 0u);
+}
+
+TEST_F(ReplayTest, StatsRatesHandleZeroDivision) {
+    const ReplayStats empty;
+    EXPECT_DOUBLE_EQ(empty.total_rate(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.cross_rate(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.single_rate(), 0.0);
+}
+
+TEST_F(ReplayTest, BalancesEvolveDuringReplay) {
+    // "We carefully handled the user balances by updating them after
+    // each successful payment": replaying the same big payment twice
+    // must drain the deposit the second time.
+    LedgerState world = state_.clone();
+    PaymentEngine engine(world);
+    PaymentRequest big;
+    big.sender = user_;
+    big.destination = direct_merchant_;
+    big.deliver = Amount::iou(kUsd, 600.0);
+    big.source_currency = kUsd;
+    const std::vector<PaymentRequest> payments = {big, big};
+    const ReplayStats stats = replay(engine, payments);
+    EXPECT_EQ(stats.single_submitted, 2u);
+    EXPECT_EQ(stats.single_delivered, 1u);  // 1000 deposit, 600+600 > 1000
+}
+
+}  // namespace
+}  // namespace xrpl::paths

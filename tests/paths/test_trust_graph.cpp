@@ -1,0 +1,95 @@
+#include "paths/trust_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xrpl::paths {
+namespace {
+
+using ledger::AccountID;
+using ledger::Currency;
+using ledger::IouAmount;
+using ledger::LedgerState;
+
+class TrustGraphTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        a_ = AccountID::from_seed("a");
+        b_ = AccountID::from_seed("b");
+        c_ = AccountID::from_seed("c");
+        for (const auto& id : {a_, b_, c_}) {
+            state_.create_account(id, ledger::XrpAmount::from_xrp(10.0));
+        }
+        // b trusts a: a can send to b.
+        state_.set_trust(b_, a_, usd_, IouAmount::from_double(100.0));
+    }
+
+    [[nodiscard]] std::vector<AccountID> neighbors_of(const TrustGraph& graph,
+                                                      const AccountID& from) const {
+        std::vector<AccountID> out;
+        graph.for_each_neighbor(from, usd_,
+                                [&](const AccountID& peer, const ledger::TrustLine*) {
+                                    out.push_back(peer);
+                                });
+        return out;
+    }
+
+    LedgerState state_;
+    AccountID a_, b_, c_;
+    const Currency usd_ = Currency::from_code("USD");
+};
+
+TEST_F(TrustGraphTest, NeighborRequiresPositiveCapacity) {
+    const TrustGraph graph(state_);
+    EXPECT_EQ(neighbors_of(graph, a_), std::vector<AccountID>{b_});
+    // b cannot send to a: a declared no trust.
+    EXPECT_TRUE(neighbors_of(graph, b_).empty());
+}
+
+TEST_F(TrustGraphTest, CurrencyFiltering) {
+    const TrustGraph graph(state_);
+    std::vector<AccountID> eur_neighbors;
+    graph.for_each_neighbor(a_, Currency::from_code("EUR"),
+                            [&](const AccountID& peer, const ledger::TrustLine*) {
+                                eur_neighbors.push_back(peer);
+                            });
+    EXPECT_TRUE(eur_neighbors.empty());
+}
+
+TEST_F(TrustGraphTest, ExclusionHidesNeighbors) {
+    TrustGraph graph(state_);
+    graph.exclude(b_);
+    EXPECT_TRUE(neighbors_of(graph, a_).empty());
+    EXPECT_TRUE(graph.is_excluded(b_));
+    EXPECT_EQ(graph.exclusion_count(), 1u);
+    graph.clear_exclusions();
+    EXPECT_EQ(neighbors_of(graph, a_), std::vector<AccountID>{b_});
+}
+
+TEST_F(TrustGraphTest, ExhaustedCapacityRemovesEdge) {
+    ledger::TrustLine* line = state_.trustline(a_, b_, usd_);
+    ASSERT_TRUE(line->transfer_from(a_, IouAmount::from_double(100.0)));
+    const TrustGraph graph(state_);
+    EXPECT_TRUE(neighbors_of(graph, a_).empty());
+    // The reverse direction gained capacity (repayment).
+    EXPECT_EQ(neighbors_of(graph, b_), std::vector<AccountID>{a_});
+}
+
+TEST_F(TrustGraphTest, InNeighborsMirrorOutNeighbors) {
+    const TrustGraph graph(state_);
+    std::vector<AccountID> senders;
+    graph.for_each_in_neighbor(b_, usd_,
+                               [&](const AccountID& peer, const ledger::TrustLine*) {
+                                   senders.push_back(peer);
+                               });
+    EXPECT_EQ(senders, std::vector<AccountID>{a_});
+}
+
+TEST_F(TrustGraphTest, OutDegreeCountsUsableEdges) {
+    state_.set_trust(c_, a_, usd_, IouAmount::from_double(5.0));
+    const TrustGraph graph(state_);
+    EXPECT_EQ(graph.out_degree(a_, usd_), 2u);
+    EXPECT_EQ(graph.out_degree(b_, usd_), 0u);
+}
+
+}  // namespace
+}  // namespace xrpl::paths

@@ -1,0 +1,111 @@
+#include "util/base58.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace xrpl::util {
+namespace {
+
+TEST(Base58Test, EmptyInputEncodesEmpty) {
+    EXPECT_EQ(base58_encode({}), "");
+    const auto decoded = base58_decode("");
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Base58Test, LeadingZerosArePreserved) {
+    const std::vector<std::uint8_t> data = {0, 0, 0, 1, 2, 3};
+    const std::string encoded = base58_encode(data);
+    // Ripple's zero digit is 'r'.
+    EXPECT_EQ(encoded.substr(0, 3), "rrr");
+    const auto decoded = base58_decode(encoded);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+}
+
+TEST(Base58Test, RejectsCharactersOutsideAlphabet) {
+    EXPECT_FALSE(base58_decode("0OIl").has_value());  // not in any base58
+    EXPECT_FALSE(base58_decode("hello world").has_value());  // space
+}
+
+TEST(Base58Test, SingleByteRoundTrip) {
+    for (int b = 0; b < 256; ++b) {
+        const std::vector<std::uint8_t> data = {static_cast<std::uint8_t>(b)};
+        const auto decoded = base58_decode(base58_encode(data));
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, data) << "byte " << b;
+    }
+}
+
+TEST(Base58CheckTest, RoundTripsTwentyBytePayload) {
+    std::vector<std::uint8_t> payload(20);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    }
+    const std::string address = base58check_encode(kTokenAccountId, payload);
+    // Account addresses start with 'r' (type prefix 0x00 maps to the
+    // alphabet's zero digit).
+    EXPECT_EQ(address.front(), 'r');
+    const auto decoded = base58check_decode(kTokenAccountId, address);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, payload);
+}
+
+TEST(Base58CheckTest, CorruptedCharacterFailsChecksum) {
+    std::vector<std::uint8_t> payload(20, 0xab);
+    std::string address = base58check_encode(kTokenAccountId, payload);
+    // Flip one character to a different alphabet character.
+    const char original = address[5];
+    address[5] = original == 'x' ? 'y' : 'x';
+    EXPECT_FALSE(base58check_decode(kTokenAccountId, address).has_value());
+}
+
+TEST(Base58CheckTest, WrongTypePrefixIsRejected) {
+    const std::vector<std::uint8_t> payload(20, 0x11);
+    const std::string address = base58check_encode(kTokenAccountId, payload);
+    EXPECT_FALSE(base58check_decode(kTokenNodePublic, address).has_value());
+}
+
+TEST(Base58CheckTest, NodePublicPrefixYieldsNAddresses) {
+    // Node public keys are 33 bytes on the real network; with that
+    // payload length the 0x1c prefix renders as a leading 'n'.
+    const std::vector<std::uint8_t> payload(33, 0x42);
+    const std::string key = base58check_encode(kTokenNodePublic, payload);
+    EXPECT_EQ(key.front(), 'n');
+}
+
+TEST(Base58CheckTest, TooShortStringsAreRejected) {
+    EXPECT_FALSE(base58check_decode(kTokenAccountId, "r").has_value());
+    EXPECT_FALSE(base58check_decode(kTokenAccountId, "rr").has_value());
+}
+
+// Property sweep: random payloads of many sizes round-trip.
+class Base58RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Base58RoundTrip, RandomPayloadsRoundTrip) {
+    Rng rng(GetParam() * 7919 + 1);
+    for (int iteration = 0; iteration < 50; ++iteration) {
+        std::vector<std::uint8_t> payload(GetParam());
+        for (auto& b : payload) {
+            b = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+        }
+        const auto raw = base58_decode(base58_encode(payload));
+        ASSERT_TRUE(raw.has_value());
+        EXPECT_EQ(*raw, payload);
+
+        const auto checked = base58check_decode(
+            kTokenAccountId, base58check_encode(kTokenAccountId, payload));
+        ASSERT_TRUE(checked.has_value());
+        EXPECT_EQ(*checked, payload);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, Base58RoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 20, 21, 32, 33, 64));
+
+}  // namespace
+}  // namespace xrpl::util

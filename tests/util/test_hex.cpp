@@ -1,0 +1,44 @@
+#include "util/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xrpl::util {
+namespace {
+
+TEST(HexTest, EncodesBytesLowercase) {
+    const std::vector<std::uint8_t> data = {0x00, 0x0f, 0xa0, 0xff};
+    EXPECT_EQ(hex_encode(data), "000fa0ff");
+}
+
+TEST(HexTest, EmptyEncodesEmpty) {
+    EXPECT_EQ(hex_encode({}), "");
+}
+
+TEST(HexTest, DecodesUppercaseAndLowercase) {
+    const auto lower = hex_decode("deadbeef");
+    const auto upper = hex_decode("DEADBEEF");
+    ASSERT_TRUE(lower.has_value());
+    ASSERT_TRUE(upper.has_value());
+    EXPECT_EQ(*lower, *upper);
+    EXPECT_EQ((*lower)[0], 0xde);
+}
+
+TEST(HexTest, RejectsOddLength) {
+    EXPECT_FALSE(hex_decode("abc").has_value());
+}
+
+TEST(HexTest, RejectsNonHexCharacters) {
+    EXPECT_FALSE(hex_decode("zz").has_value());
+    EXPECT_FALSE(hex_decode("a ").has_value());
+}
+
+TEST(HexTest, RoundTripsAllBytes) {
+    std::vector<std::uint8_t> data(256);
+    for (int i = 0; i < 256; ++i) data[i] = static_cast<std::uint8_t>(i);
+    const auto decoded = hex_decode(hex_encode(data));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+}
+
+}  // namespace
+}  // namespace xrpl::util

@@ -1,0 +1,104 @@
+#include "util/ripple_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xrpl::util {
+namespace {
+
+TEST(RippleTimeTest, EpochIsYear2000) {
+    EXPECT_EQ(format(RippleTime{0}), "2000-01-01 00:00:00");
+    EXPECT_EQ(to_unix(RippleTime{0}), 946684800);
+}
+
+TEST(RippleTimeTest, UnixRoundTrip) {
+    const RippleTime t = from_unix(1'440'430'863);
+    EXPECT_EQ(to_unix(t), 1'440'430'863);
+}
+
+TEST(RippleTimeTest, CalendarConstructionMatchesPaperExample) {
+    // The paper's example timestamp: 2015-08-24 15:41:03.
+    const RippleTime t = from_calendar(2015, 8, 24, 15, 41, 3);
+    EXPECT_EQ(format(t), "2015-08-24 15:41:03");
+}
+
+TEST(RippleTimeTest, TruncationToDayMatchesPaperExample) {
+    // "the worst resolution ... will modify the value
+    //  2015-08-24 15:41:03 to 2015-08-24 00:00:00".
+    const RippleTime t = from_calendar(2015, 8, 24, 15, 41, 3);
+    EXPECT_EQ(format(truncate(t, TimeResolution::kDays)), "2015-08-24 00:00:00");
+}
+
+TEST(RippleTimeTest, TruncationLevels) {
+    const RippleTime t = from_calendar(2014, 2, 28, 23, 59, 59);
+    EXPECT_EQ(format(truncate(t, TimeResolution::kSeconds)), "2014-02-28 23:59:59");
+    EXPECT_EQ(format(truncate(t, TimeResolution::kMinutes)), "2014-02-28 23:59:00");
+    EXPECT_EQ(format(truncate(t, TimeResolution::kHours)), "2014-02-28 23:00:00");
+    EXPECT_EQ(format(truncate(t, TimeResolution::kDays)), "2014-02-28 00:00:00");
+}
+
+TEST(RippleTimeTest, LeapYearFebruary29) {
+    const RippleTime t = from_calendar(2016, 2, 29, 12, 0, 0);
+    EXPECT_EQ(format(t), "2016-02-29 12:00:00");
+    // The day after.
+    const RippleTime next{t.seconds + 86400};
+    EXPECT_EQ(format_date(next), "2016-03-01");
+}
+
+TEST(RippleTimeTest, Year2000IsLeap) {
+    const RippleTime t = from_calendar(2000, 2, 29);
+    EXPECT_EQ(format_date(t), "2000-02-29");
+}
+
+TEST(RippleTimeTest, Year2100IsNotLeapWithinConvention) {
+    // 2100 is divisible by 100 but not 400.
+    const RippleTime feb28 = from_calendar(2100, 2, 28);
+    const RippleTime next{feb28.seconds + 86400};
+    EXPECT_EQ(format_date(next), "2100-03-01");
+}
+
+TEST(RippleTimeTest, TruncationIsIdempotent) {
+    const RippleTime t = from_calendar(2013, 7, 4, 3, 2, 1);
+    for (const auto res : {TimeResolution::kSeconds, TimeResolution::kMinutes,
+                           TimeResolution::kHours, TimeResolution::kDays}) {
+        const RippleTime once = truncate(t, res);
+        EXPECT_EQ(truncate(once, res), once);
+    }
+}
+
+TEST(RippleTimeTest, TruncationIsMonotoneCoarsening) {
+    const RippleTime t = from_calendar(2013, 7, 4, 3, 2, 1);
+    const RippleTime mn = truncate(t, TimeResolution::kMinutes);
+    const RippleTime hr = truncate(t, TimeResolution::kHours);
+    const RippleTime dy = truncate(t, TimeResolution::kDays);
+    EXPECT_LE(dy.seconds, hr.seconds);
+    EXPECT_LE(hr.seconds, mn.seconds);
+    EXPECT_LE(mn.seconds, t.seconds);
+}
+
+TEST(RippleTimeTest, ResolutionLabels) {
+    EXPECT_STREQ(resolution_label(TimeResolution::kSeconds), "sc");
+    EXPECT_STREQ(resolution_label(TimeResolution::kMinutes), "mn");
+    EXPECT_STREQ(resolution_label(TimeResolution::kHours), "hr");
+    EXPECT_STREQ(resolution_label(TimeResolution::kDays), "dy");
+}
+
+// Round-trip sweep across a decade of dates.
+class CalendarRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CalendarRoundTrip, FormatsBackToSameDate) {
+    const int year = GetParam();
+    for (int month = 1; month <= 12; ++month) {
+        const RippleTime t = from_calendar(year, month, 15, 6, 30, 45);
+        char expected[32];
+        std::snprintf(expected, sizeof(expected), "%04d-%02d-15 06:30:45", year,
+                      month);
+        EXPECT_EQ(format(t), expected);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Years, CalendarRoundTrip,
+                         ::testing::Values(2000, 2004, 2013, 2014, 2015, 2016,
+                                           2020, 2099));
+
+}  // namespace
+}  // namespace xrpl::util

@@ -1,0 +1,155 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace xrpl::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, Uniform01StaysInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = rng.uniform01();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformU64RespectsInclusiveBounds) {
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10'000; ++i) {
+        const std::uint64_t v = rng.uniform_u64(3, 7);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 7u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformI64HandlesNegativeRanges) {
+    Rng rng(13);
+    for (int i = 0; i < 1'000; ++i) {
+        const std::int64_t v = rng.uniform_i64(-10, -5);
+        EXPECT_GE(v, -10);
+        EXPECT_LE(v, -5);
+    }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(RngTest, BernoulliFrequencyApproximatesP) {
+    Rng rng(19);
+    int hits = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 200'000;
+    for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, NormalMomentsConverge) {
+    Rng rng(29);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 200'000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(2.0, 3.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, ParetoRespectsMinimum) {
+    Rng rng(31);
+    for (int i = 0; i < 10'000; ++i) {
+        EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+    }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+    Rng parent(41);
+    Rng child = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (parent.next() == child.next()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfSamplerTest, RankZeroIsMostPopular) {
+    Rng rng(43);
+    const ZipfSampler zipf(100, 1.2);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 100'000; ++i) ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[0], counts[50]);
+    const int max = *std::max_element(counts.begin(), counts.end());
+    EXPECT_EQ(max, counts[0]);
+}
+
+TEST(ZipfSamplerTest, SamplesStayInRange) {
+    Rng rng(47);
+    const ZipfSampler zipf(5, 1.0);
+    for (int i = 0; i < 10'000; ++i) EXPECT_LT(zipf.sample(rng), 5u);
+}
+
+TEST(CategoricalSamplerTest, MatchesWeights) {
+    Rng rng(53);
+    const std::vector<double> weights = {1.0, 3.0, 6.0};
+    const CategoricalSampler sampler(weights);
+    std::vector<int> counts(3, 0);
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(CategoricalSamplerTest, ZeroWeightNeverSampled) {
+    Rng rng(59);
+    const std::vector<double> weights = {0.0, 1.0};
+    const CategoricalSampler sampler(weights);
+    for (int i = 0; i < 10'000; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+}  // namespace
+}  // namespace xrpl::util

@@ -1,0 +1,78 @@
+#include "util/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace xrpl::util {
+namespace {
+
+TEST(Sha256Test, EmptyStringMatchesFipsVector) {
+    EXPECT_EQ(to_hex(sha256("")),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, AbcMatchesFipsVector) {
+    EXPECT_EQ(to_hex(sha256("abc")),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessageMatchesFipsVector) {
+    EXPECT_EQ(to_hex(sha256(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAsMatchesFipsVector) {
+    const std::string input(1'000'000, 'a');
+    EXPECT_EQ(to_hex(sha256(input)),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingEqualsOneShot) {
+    const std::string text = "the quick brown fox jumps over the lazy dog";
+    for (std::size_t split = 0; split <= text.size(); ++split) {
+        Sha256 hasher;
+        hasher.update(text.substr(0, split));
+        hasher.update(text.substr(split));
+        EXPECT_EQ(hasher.finish(), sha256(text)) << "split at " << split;
+    }
+}
+
+TEST(Sha256Test, StreamingManySmallChunksEqualsOneShot) {
+    const std::string text(1000, 'x');
+    Sha256 hasher;
+    for (const char c : text) hasher.update(std::string_view(&c, 1));
+    EXPECT_EQ(hasher.finish(), sha256(text));
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+    EXPECT_NE(sha256("a"), sha256("b"));
+    EXPECT_NE(sha256(""), sha256(std::string(1, '\0')));
+}
+
+TEST(Sha256Test, DoubleHashDiffersFromSingle) {
+    const std::string text = "checksum body";
+    const std::vector<std::uint8_t> bytes(text.begin(), text.end());
+    EXPECT_NE(sha256d(bytes), sha256(text));
+}
+
+// Boundary lengths around the 64-byte block and 56-byte padding edge.
+class Sha256LengthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256LengthTest, StreamingMatchesOneShotAtBoundary) {
+    const std::string text(GetParam(), 'q');
+    Sha256 hasher;
+    const std::size_t half = text.size() / 2;
+    hasher.update(text.substr(0, half));
+    hasher.update(text.substr(half));
+    EXPECT_EQ(hasher.finish(), sha256(text));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaddingBoundaries, Sha256LengthTest,
+                         ::testing::Values(0, 1, 54, 55, 56, 57, 63, 64, 65, 119,
+                                           120, 127, 128, 129, 255, 256));
+
+}  // namespace
+}  // namespace xrpl::util

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace xrpl::util {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+    TextTable table({"name", "count"});
+    table.add_row({"alpha", "10"});
+    table.add_row({"b", "2000"});
+    std::ostringstream os;
+    table.render(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("2000"), std::string::npos);
+    // Header rule present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, RowArityMismatchThrows) {
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, AlignmentArityMismatchThrows) {
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.set_alignment({Align::kLeft}), std::invalid_argument);
+}
+
+TEST(TextTableTest, CountsRows) {
+    TextTable table({"x"});
+    EXPECT_EQ(table.row_count(), 0u);
+    table.add_row({"1"});
+    table.add_row({"2"});
+    EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(FormatTest, FormatCountInsertsThousandsSeparators) {
+    EXPECT_EQ(format_count(0), "0");
+    EXPECT_EQ(format_count(999), "999");
+    EXPECT_EQ(format_count(1000), "1,000");
+    EXPECT_EQ(format_count(1'234'567), "1,234,567");
+    EXPECT_EQ(format_count(1'000'000'000), "1,000,000,000");
+}
+
+TEST(FormatTest, FormatPercentTwoDecimals) {
+    EXPECT_EQ(format_percent(0.9983), "99.83%");
+    EXPECT_EQ(format_percent(0.0128), "1.28%");
+    EXPECT_EQ(format_percent(1.0), "100.00%");
+}
+
+TEST(FormatTest, FormatDoubleRespectsDigits) {
+    EXPECT_EQ(format_double(3.14159, 2), "3.14");
+    EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace xrpl::util

@@ -1,0 +1,85 @@
+#include "util/textplot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace xrpl::util {
+namespace {
+
+TEST(TextPlotTest, BarLengthsProportional) {
+    std::ostringstream os;
+    render_bar_chart(os,
+                     {Bar{"small", 10.0, -1.0}, Bar{"large", 100.0, -1.0}},
+                     BarChartOptions{});
+    const std::string out = os.str();
+    // Count '#' per line.
+    std::istringstream lines(out);
+    std::string line;
+    std::size_t small_bar = 0;
+    std::size_t large_bar = 0;
+    while (std::getline(lines, line)) {
+        const std::size_t hashes =
+            static_cast<std::size_t>(std::count(line.begin(), line.end(), '#'));
+        if (line.find("small") != std::string::npos) small_bar = hashes;
+        if (line.find("large") != std::string::npos) large_bar = hashes;
+    }
+    EXPECT_GT(large_bar, small_bar);
+    EXPECT_GE(small_bar, 1u);
+}
+
+TEST(TextPlotTest, LogScaleCompressesRange) {
+    std::ostringstream os;
+    BarChartOptions options;
+    options.log_scale = true;
+    options.width = 40;
+    render_bar_chart(os, {Bar{"a", 10.0, -1.0}, Bar{"b", 1e6, -1.0}}, options);
+    std::istringstream lines(os.str());
+    std::string line;
+    std::size_t a_bar = 0;
+    while (std::getline(lines, line)) {
+        if (line.find("a ") == 0) {
+            a_bar = static_cast<std::size_t>(
+                std::count(line.begin(), line.end(), '#'));
+        }
+    }
+    // On a log scale 10 vs 1e6 is ~1/6 of the width, not ~0.
+    EXPECT_GE(a_bar, 5u);
+}
+
+TEST(TextPlotTest, SecondarySeriesRendered) {
+    std::ostringstream os;
+    BarChartOptions options;
+    options.secondary_header = "valid";
+    render_bar_chart(os, {Bar{"v1", 100.0, 60.0}}, options);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("valid"), std::string::npos);
+    EXPECT_NE(out.find('='), std::string::npos);
+}
+
+TEST(TextPlotTest, ZeroValuesProduceNoBar) {
+    std::ostringstream os;
+    render_bar_chart(os, {Bar{"zero", 0.0, -1.0}, Bar{"one", 5.0, -1.0}},
+                     BarChartOptions{});
+    std::istringstream lines(os.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.find("zero") != std::string::npos) {
+            EXPECT_EQ(std::count(line.begin(), line.end(), '#'), 0);
+        }
+    }
+}
+
+TEST(TextPlotTest, SeriesRendering) {
+    std::ostringstream os;
+    render_series(os, "hops", "payments",
+                  {SeriesPoint{1, 100}, SeriesPoint{2, 50}}, true);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("hops"), std::string::npos);
+    EXPECT_NE(out.find("payments"), std::string::npos);
+    EXPECT_NE(out.find("100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xrpl::util
