@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_anonymity_sets.dir/ext_anonymity_sets.cpp.o"
+  "CMakeFiles/ext_anonymity_sets.dir/ext_anonymity_sets.cpp.o.d"
+  "ext_anonymity_sets"
+  "ext_anonymity_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_anonymity_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

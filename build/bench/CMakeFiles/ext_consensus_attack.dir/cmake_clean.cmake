@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_consensus_attack.dir/ext_consensus_attack.cpp.o"
+  "CMakeFiles/ext_consensus_attack.dir/ext_consensus_attack.cpp.o.d"
+  "ext_consensus_attack"
+  "ext_consensus_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_consensus_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ig_scaling.dir/ext_ig_scaling.cpp.o"
+  "CMakeFiles/ext_ig_scaling.dir/ext_ig_scaling.cpp.o.d"
+  "ext_ig_scaling"
+  "ext_ig_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ig_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

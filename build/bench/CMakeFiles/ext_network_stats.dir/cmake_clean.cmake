@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_network_stats.dir/ext_network_stats.cpp.o"
+  "CMakeFiles/ext_network_stats.dir/ext_network_stats.cpp.o.d"
+  "ext_network_stats"
+  "ext_network_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_network_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

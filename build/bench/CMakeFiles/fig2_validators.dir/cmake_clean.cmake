@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_validators.dir/fig2_validators.cpp.o"
+  "CMakeFiles/fig2_validators.dir/fig2_validators.cpp.o.d"
+  "fig2_validators"
+  "fig2_validators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_validators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

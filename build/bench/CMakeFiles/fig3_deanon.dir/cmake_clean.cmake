@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_deanon.dir/fig3_deanon.cpp.o"
+  "CMakeFiles/fig3_deanon.dir/fig3_deanon.cpp.o.d"
+  "fig3_deanon"
+  "fig3_deanon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_deanon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

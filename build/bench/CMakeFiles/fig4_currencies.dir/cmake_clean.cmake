@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_currencies.dir/fig4_currencies.cpp.o"
+  "CMakeFiles/fig4_currencies.dir/fig4_currencies.cpp.o.d"
+  "fig4_currencies"
+  "fig4_currencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_currencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

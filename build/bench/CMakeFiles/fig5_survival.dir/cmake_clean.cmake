@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_survival.dir/fig5_survival.cpp.o"
+  "CMakeFiles/fig5_survival.dir/fig5_survival.cpp.o.d"
+  "fig5_survival"
+  "fig5_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

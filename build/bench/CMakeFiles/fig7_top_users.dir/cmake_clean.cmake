@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_top_users.dir/fig7_top_users.cpp.o"
+  "CMakeFiles/fig7_top_users.dir/fig7_top_users.cpp.o.d"
+  "fig7_top_users"
+  "fig7_top_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_top_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rounding.dir/table1_rounding.cpp.o"
+  "CMakeFiles/table1_rounding.dir/table1_rounding.cpp.o.d"
+  "table1_rounding"
+  "table1_rounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_market_makers.cpp" "bench/CMakeFiles/table2_market_makers.dir/table2_market_makers.cpp.o" "gcc" "bench/CMakeFiles/table2_market_makers.dir/table2_market_makers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xrpl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_market_makers.dir/table2_market_makers.cpp.o"
+  "CMakeFiles/table2_market_makers.dir/table2_market_makers.cpp.o.d"
+  "table2_market_makers"
+  "table2_market_makers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_market_makers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_market_makers.
+# This may be replaced when dependencies are built.

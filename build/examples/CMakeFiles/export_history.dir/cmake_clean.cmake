@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_history.dir/export_history.cpp.o"
+  "CMakeFiles/export_history.dir/export_history.cpp.o.d"
+  "export_history"
+  "export_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latte_attack.dir/latte_attack.cpp.o"
+  "CMakeFiles/latte_attack.dir/latte_attack.cpp.o.d"
+  "latte_attack"
+  "latte_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latte_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

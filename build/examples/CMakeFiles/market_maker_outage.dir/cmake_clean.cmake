@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_maker_outage.dir/market_maker_outage.cpp.o"
+  "CMakeFiles/market_maker_outage.dir/market_maker_outage.cpp.o.d"
+  "market_maker_outage"
+  "market_maker_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_maker_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

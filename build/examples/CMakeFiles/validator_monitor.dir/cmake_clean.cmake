@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validator_monitor.dir/validator_monitor.cpp.o"
+  "CMakeFiles/validator_monitor.dir/validator_monitor.cpp.o.d"
+  "validator_monitor"
+  "validator_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validator_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

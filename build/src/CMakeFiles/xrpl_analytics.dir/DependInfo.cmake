@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/currency_stats.cpp" "src/CMakeFiles/xrpl_analytics.dir/analytics/currency_stats.cpp.o" "gcc" "src/CMakeFiles/xrpl_analytics.dir/analytics/currency_stats.cpp.o.d"
+  "/root/repo/src/analytics/histogram.cpp" "src/CMakeFiles/xrpl_analytics.dir/analytics/histogram.cpp.o" "gcc" "src/CMakeFiles/xrpl_analytics.dir/analytics/histogram.cpp.o.d"
+  "/root/repo/src/analytics/network_stats.cpp" "src/CMakeFiles/xrpl_analytics.dir/analytics/network_stats.cpp.o" "gcc" "src/CMakeFiles/xrpl_analytics.dir/analytics/network_stats.cpp.o.d"
+  "/root/repo/src/analytics/path_stats.cpp" "src/CMakeFiles/xrpl_analytics.dir/analytics/path_stats.cpp.o" "gcc" "src/CMakeFiles/xrpl_analytics.dir/analytics/path_stats.cpp.o.d"
+  "/root/repo/src/analytics/survival.cpp" "src/CMakeFiles/xrpl_analytics.dir/analytics/survival.cpp.o" "gcc" "src/CMakeFiles/xrpl_analytics.dir/analytics/survival.cpp.o.d"
+  "/root/repo/src/analytics/top_users.cpp" "src/CMakeFiles/xrpl_analytics.dir/analytics/top_users.cpp.o" "gcc" "src/CMakeFiles/xrpl_analytics.dir/analytics/top_users.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xrpl_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

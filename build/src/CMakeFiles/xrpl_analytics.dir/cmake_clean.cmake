@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpl_analytics.dir/analytics/currency_stats.cpp.o"
+  "CMakeFiles/xrpl_analytics.dir/analytics/currency_stats.cpp.o.d"
+  "CMakeFiles/xrpl_analytics.dir/analytics/histogram.cpp.o"
+  "CMakeFiles/xrpl_analytics.dir/analytics/histogram.cpp.o.d"
+  "CMakeFiles/xrpl_analytics.dir/analytics/network_stats.cpp.o"
+  "CMakeFiles/xrpl_analytics.dir/analytics/network_stats.cpp.o.d"
+  "CMakeFiles/xrpl_analytics.dir/analytics/path_stats.cpp.o"
+  "CMakeFiles/xrpl_analytics.dir/analytics/path_stats.cpp.o.d"
+  "CMakeFiles/xrpl_analytics.dir/analytics/survival.cpp.o"
+  "CMakeFiles/xrpl_analytics.dir/analytics/survival.cpp.o.d"
+  "CMakeFiles/xrpl_analytics.dir/analytics/top_users.cpp.o"
+  "CMakeFiles/xrpl_analytics.dir/analytics/top_users.cpp.o.d"
+  "libxrpl_analytics.a"
+  "libxrpl_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpl_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

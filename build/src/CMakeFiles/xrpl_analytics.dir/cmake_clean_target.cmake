@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxrpl_analytics.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/monitor.cpp" "src/CMakeFiles/xrpl_consensus.dir/consensus/monitor.cpp.o" "gcc" "src/CMakeFiles/xrpl_consensus.dir/consensus/monitor.cpp.o.d"
+  "/root/repo/src/consensus/period_config.cpp" "src/CMakeFiles/xrpl_consensus.dir/consensus/period_config.cpp.o" "gcc" "src/CMakeFiles/xrpl_consensus.dir/consensus/period_config.cpp.o.d"
+  "/root/repo/src/consensus/robustness.cpp" "src/CMakeFiles/xrpl_consensus.dir/consensus/robustness.cpp.o" "gcc" "src/CMakeFiles/xrpl_consensus.dir/consensus/robustness.cpp.o.d"
+  "/root/repo/src/consensus/rpca.cpp" "src/CMakeFiles/xrpl_consensus.dir/consensus/rpca.cpp.o" "gcc" "src/CMakeFiles/xrpl_consensus.dir/consensus/rpca.cpp.o.d"
+  "/root/repo/src/consensus/validation_stream.cpp" "src/CMakeFiles/xrpl_consensus.dir/consensus/validation_stream.cpp.o" "gcc" "src/CMakeFiles/xrpl_consensus.dir/consensus/validation_stream.cpp.o.d"
+  "/root/repo/src/consensus/validator.cpp" "src/CMakeFiles/xrpl_consensus.dir/consensus/validator.cpp.o" "gcc" "src/CMakeFiles/xrpl_consensus.dir/consensus/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xrpl_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpl_consensus.dir/consensus/monitor.cpp.o"
+  "CMakeFiles/xrpl_consensus.dir/consensus/monitor.cpp.o.d"
+  "CMakeFiles/xrpl_consensus.dir/consensus/period_config.cpp.o"
+  "CMakeFiles/xrpl_consensus.dir/consensus/period_config.cpp.o.d"
+  "CMakeFiles/xrpl_consensus.dir/consensus/robustness.cpp.o"
+  "CMakeFiles/xrpl_consensus.dir/consensus/robustness.cpp.o.d"
+  "CMakeFiles/xrpl_consensus.dir/consensus/rpca.cpp.o"
+  "CMakeFiles/xrpl_consensus.dir/consensus/rpca.cpp.o.d"
+  "CMakeFiles/xrpl_consensus.dir/consensus/validation_stream.cpp.o"
+  "CMakeFiles/xrpl_consensus.dir/consensus/validation_stream.cpp.o.d"
+  "CMakeFiles/xrpl_consensus.dir/consensus/validator.cpp.o"
+  "CMakeFiles/xrpl_consensus.dir/consensus/validator.cpp.o.d"
+  "libxrpl_consensus.a"
+  "libxrpl_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpl_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

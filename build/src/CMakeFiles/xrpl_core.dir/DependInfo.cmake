@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anonymity.cpp" "src/CMakeFiles/xrpl_core.dir/core/anonymity.cpp.o" "gcc" "src/CMakeFiles/xrpl_core.dir/core/anonymity.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/CMakeFiles/xrpl_core.dir/core/clustering.cpp.o" "gcc" "src/CMakeFiles/xrpl_core.dir/core/clustering.cpp.o.d"
+  "/root/repo/src/core/deanonymizer.cpp" "src/CMakeFiles/xrpl_core.dir/core/deanonymizer.cpp.o" "gcc" "src/CMakeFiles/xrpl_core.dir/core/deanonymizer.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/CMakeFiles/xrpl_core.dir/core/features.cpp.o" "gcc" "src/CMakeFiles/xrpl_core.dir/core/features.cpp.o.d"
+  "/root/repo/src/core/fingerprint.cpp" "src/CMakeFiles/xrpl_core.dir/core/fingerprint.cpp.o" "gcc" "src/CMakeFiles/xrpl_core.dir/core/fingerprint.cpp.o.d"
+  "/root/repo/src/core/ig_study.cpp" "src/CMakeFiles/xrpl_core.dir/core/ig_study.cpp.o" "gcc" "src/CMakeFiles/xrpl_core.dir/core/ig_study.cpp.o.d"
+  "/root/repo/src/core/mitigation.cpp" "src/CMakeFiles/xrpl_core.dir/core/mitigation.cpp.o" "gcc" "src/CMakeFiles/xrpl_core.dir/core/mitigation.cpp.o.d"
+  "/root/repo/src/core/resolution.cpp" "src/CMakeFiles/xrpl_core.dir/core/resolution.cpp.o" "gcc" "src/CMakeFiles/xrpl_core.dir/core/resolution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xrpl_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpl_core.dir/core/anonymity.cpp.o"
+  "CMakeFiles/xrpl_core.dir/core/anonymity.cpp.o.d"
+  "CMakeFiles/xrpl_core.dir/core/clustering.cpp.o"
+  "CMakeFiles/xrpl_core.dir/core/clustering.cpp.o.d"
+  "CMakeFiles/xrpl_core.dir/core/deanonymizer.cpp.o"
+  "CMakeFiles/xrpl_core.dir/core/deanonymizer.cpp.o.d"
+  "CMakeFiles/xrpl_core.dir/core/features.cpp.o"
+  "CMakeFiles/xrpl_core.dir/core/features.cpp.o.d"
+  "CMakeFiles/xrpl_core.dir/core/fingerprint.cpp.o"
+  "CMakeFiles/xrpl_core.dir/core/fingerprint.cpp.o.d"
+  "CMakeFiles/xrpl_core.dir/core/ig_study.cpp.o"
+  "CMakeFiles/xrpl_core.dir/core/ig_study.cpp.o.d"
+  "CMakeFiles/xrpl_core.dir/core/mitigation.cpp.o"
+  "CMakeFiles/xrpl_core.dir/core/mitigation.cpp.o.d"
+  "CMakeFiles/xrpl_core.dir/core/resolution.cpp.o"
+  "CMakeFiles/xrpl_core.dir/core/resolution.cpp.o.d"
+  "libxrpl_core.a"
+  "libxrpl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

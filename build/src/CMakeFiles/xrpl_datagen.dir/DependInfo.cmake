@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/config.cpp" "src/CMakeFiles/xrpl_datagen.dir/datagen/config.cpp.o" "gcc" "src/CMakeFiles/xrpl_datagen.dir/datagen/config.cpp.o.d"
+  "/root/repo/src/datagen/history.cpp" "src/CMakeFiles/xrpl_datagen.dir/datagen/history.cpp.o" "gcc" "src/CMakeFiles/xrpl_datagen.dir/datagen/history.cpp.o.d"
+  "/root/repo/src/datagen/population.cpp" "src/CMakeFiles/xrpl_datagen.dir/datagen/population.cpp.o" "gcc" "src/CMakeFiles/xrpl_datagen.dir/datagen/population.cpp.o.d"
+  "/root/repo/src/datagen/spam.cpp" "src/CMakeFiles/xrpl_datagen.dir/datagen/spam.cpp.o" "gcc" "src/CMakeFiles/xrpl_datagen.dir/datagen/spam.cpp.o.d"
+  "/root/repo/src/datagen/workload.cpp" "src/CMakeFiles/xrpl_datagen.dir/datagen/workload.cpp.o" "gcc" "src/CMakeFiles/xrpl_datagen.dir/datagen/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xrpl_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpl_datagen.dir/datagen/config.cpp.o"
+  "CMakeFiles/xrpl_datagen.dir/datagen/config.cpp.o.d"
+  "CMakeFiles/xrpl_datagen.dir/datagen/history.cpp.o"
+  "CMakeFiles/xrpl_datagen.dir/datagen/history.cpp.o.d"
+  "CMakeFiles/xrpl_datagen.dir/datagen/population.cpp.o"
+  "CMakeFiles/xrpl_datagen.dir/datagen/population.cpp.o.d"
+  "CMakeFiles/xrpl_datagen.dir/datagen/spam.cpp.o"
+  "CMakeFiles/xrpl_datagen.dir/datagen/spam.cpp.o.d"
+  "CMakeFiles/xrpl_datagen.dir/datagen/workload.cpp.o"
+  "CMakeFiles/xrpl_datagen.dir/datagen/workload.cpp.o.d"
+  "libxrpl_datagen.a"
+  "libxrpl_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpl_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

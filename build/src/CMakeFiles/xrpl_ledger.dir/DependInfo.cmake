@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ledger/amount.cpp" "src/CMakeFiles/xrpl_ledger.dir/ledger/amount.cpp.o" "gcc" "src/CMakeFiles/xrpl_ledger.dir/ledger/amount.cpp.o.d"
+  "/root/repo/src/ledger/codec.cpp" "src/CMakeFiles/xrpl_ledger.dir/ledger/codec.cpp.o" "gcc" "src/CMakeFiles/xrpl_ledger.dir/ledger/codec.cpp.o.d"
+  "/root/repo/src/ledger/ledger.cpp" "src/CMakeFiles/xrpl_ledger.dir/ledger/ledger.cpp.o" "gcc" "src/CMakeFiles/xrpl_ledger.dir/ledger/ledger.cpp.o.d"
+  "/root/repo/src/ledger/ledger_history.cpp" "src/CMakeFiles/xrpl_ledger.dir/ledger/ledger_history.cpp.o" "gcc" "src/CMakeFiles/xrpl_ledger.dir/ledger/ledger_history.cpp.o.d"
+  "/root/repo/src/ledger/transaction.cpp" "src/CMakeFiles/xrpl_ledger.dir/ledger/transaction.cpp.o" "gcc" "src/CMakeFiles/xrpl_ledger.dir/ledger/transaction.cpp.o.d"
+  "/root/repo/src/ledger/trustline.cpp" "src/CMakeFiles/xrpl_ledger.dir/ledger/trustline.cpp.o" "gcc" "src/CMakeFiles/xrpl_ledger.dir/ledger/trustline.cpp.o.d"
+  "/root/repo/src/ledger/types.cpp" "src/CMakeFiles/xrpl_ledger.dir/ledger/types.cpp.o" "gcc" "src/CMakeFiles/xrpl_ledger.dir/ledger/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xrpl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpl_ledger.dir/ledger/amount.cpp.o"
+  "CMakeFiles/xrpl_ledger.dir/ledger/amount.cpp.o.d"
+  "CMakeFiles/xrpl_ledger.dir/ledger/codec.cpp.o"
+  "CMakeFiles/xrpl_ledger.dir/ledger/codec.cpp.o.d"
+  "CMakeFiles/xrpl_ledger.dir/ledger/ledger.cpp.o"
+  "CMakeFiles/xrpl_ledger.dir/ledger/ledger.cpp.o.d"
+  "CMakeFiles/xrpl_ledger.dir/ledger/ledger_history.cpp.o"
+  "CMakeFiles/xrpl_ledger.dir/ledger/ledger_history.cpp.o.d"
+  "CMakeFiles/xrpl_ledger.dir/ledger/transaction.cpp.o"
+  "CMakeFiles/xrpl_ledger.dir/ledger/transaction.cpp.o.d"
+  "CMakeFiles/xrpl_ledger.dir/ledger/trustline.cpp.o"
+  "CMakeFiles/xrpl_ledger.dir/ledger/trustline.cpp.o.d"
+  "CMakeFiles/xrpl_ledger.dir/ledger/types.cpp.o"
+  "CMakeFiles/xrpl_ledger.dir/ledger/types.cpp.o.d"
+  "libxrpl_ledger.a"
+  "libxrpl_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpl_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

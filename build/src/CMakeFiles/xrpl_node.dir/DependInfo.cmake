@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/node.cpp" "src/CMakeFiles/xrpl_node.dir/node/node.cpp.o" "gcc" "src/CMakeFiles/xrpl_node.dir/node/node.cpp.o.d"
+  "/root/repo/src/node/tx_queue.cpp" "src/CMakeFiles/xrpl_node.dir/node/tx_queue.cpp.o" "gcc" "src/CMakeFiles/xrpl_node.dir/node/tx_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xrpl_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpl_node.dir/node/node.cpp.o"
+  "CMakeFiles/xrpl_node.dir/node/node.cpp.o.d"
+  "CMakeFiles/xrpl_node.dir/node/tx_queue.cpp.o"
+  "CMakeFiles/xrpl_node.dir/node/tx_queue.cpp.o.d"
+  "libxrpl_node.a"
+  "libxrpl_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpl_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paths/order_book.cpp" "src/CMakeFiles/xrpl_paths.dir/paths/order_book.cpp.o" "gcc" "src/CMakeFiles/xrpl_paths.dir/paths/order_book.cpp.o.d"
+  "/root/repo/src/paths/path_finder.cpp" "src/CMakeFiles/xrpl_paths.dir/paths/path_finder.cpp.o" "gcc" "src/CMakeFiles/xrpl_paths.dir/paths/path_finder.cpp.o.d"
+  "/root/repo/src/paths/payment_engine.cpp" "src/CMakeFiles/xrpl_paths.dir/paths/payment_engine.cpp.o" "gcc" "src/CMakeFiles/xrpl_paths.dir/paths/payment_engine.cpp.o.d"
+  "/root/repo/src/paths/replay.cpp" "src/CMakeFiles/xrpl_paths.dir/paths/replay.cpp.o" "gcc" "src/CMakeFiles/xrpl_paths.dir/paths/replay.cpp.o.d"
+  "/root/repo/src/paths/trust_graph.cpp" "src/CMakeFiles/xrpl_paths.dir/paths/trust_graph.cpp.o" "gcc" "src/CMakeFiles/xrpl_paths.dir/paths/trust_graph.cpp.o.d"
+  "/root/repo/src/paths/widest_path.cpp" "src/CMakeFiles/xrpl_paths.dir/paths/widest_path.cpp.o" "gcc" "src/CMakeFiles/xrpl_paths.dir/paths/widest_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xrpl_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpl_paths.dir/paths/order_book.cpp.o"
+  "CMakeFiles/xrpl_paths.dir/paths/order_book.cpp.o.d"
+  "CMakeFiles/xrpl_paths.dir/paths/path_finder.cpp.o"
+  "CMakeFiles/xrpl_paths.dir/paths/path_finder.cpp.o.d"
+  "CMakeFiles/xrpl_paths.dir/paths/payment_engine.cpp.o"
+  "CMakeFiles/xrpl_paths.dir/paths/payment_engine.cpp.o.d"
+  "CMakeFiles/xrpl_paths.dir/paths/replay.cpp.o"
+  "CMakeFiles/xrpl_paths.dir/paths/replay.cpp.o.d"
+  "CMakeFiles/xrpl_paths.dir/paths/trust_graph.cpp.o"
+  "CMakeFiles/xrpl_paths.dir/paths/trust_graph.cpp.o.d"
+  "CMakeFiles/xrpl_paths.dir/paths/widest_path.cpp.o"
+  "CMakeFiles/xrpl_paths.dir/paths/widest_path.cpp.o.d"
+  "libxrpl_paths.a"
+  "libxrpl_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpl_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpl_util.dir/util/base58.cpp.o"
+  "CMakeFiles/xrpl_util.dir/util/base58.cpp.o.d"
+  "CMakeFiles/xrpl_util.dir/util/hex.cpp.o"
+  "CMakeFiles/xrpl_util.dir/util/hex.cpp.o.d"
+  "CMakeFiles/xrpl_util.dir/util/ripple_time.cpp.o"
+  "CMakeFiles/xrpl_util.dir/util/ripple_time.cpp.o.d"
+  "CMakeFiles/xrpl_util.dir/util/rng.cpp.o"
+  "CMakeFiles/xrpl_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/xrpl_util.dir/util/sha256.cpp.o"
+  "CMakeFiles/xrpl_util.dir/util/sha256.cpp.o.d"
+  "CMakeFiles/xrpl_util.dir/util/table.cpp.o"
+  "CMakeFiles/xrpl_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/xrpl_util.dir/util/textplot.cpp.o"
+  "CMakeFiles/xrpl_util.dir/util/textplot.cpp.o.d"
+  "libxrpl_util.a"
+  "libxrpl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

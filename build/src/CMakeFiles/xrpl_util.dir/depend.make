@@ -1,0 +1,2 @@
+# Empty dependencies file for xrpl_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytics/test_analytics.cpp" "tests/CMakeFiles/xrpl_tests.dir/analytics/test_analytics.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/analytics/test_analytics.cpp.o.d"
+  "/root/repo/tests/analytics/test_network_stats.cpp" "tests/CMakeFiles/xrpl_tests.dir/analytics/test_network_stats.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/analytics/test_network_stats.cpp.o.d"
+  "/root/repo/tests/analytics/test_top_users.cpp" "tests/CMakeFiles/xrpl_tests.dir/analytics/test_top_users.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/analytics/test_top_users.cpp.o.d"
+  "/root/repo/tests/consensus/test_consensus.cpp" "tests/CMakeFiles/xrpl_tests.dir/consensus/test_consensus.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/consensus/test_consensus.cpp.o.d"
+  "/root/repo/tests/consensus/test_monitor.cpp" "tests/CMakeFiles/xrpl_tests.dir/consensus/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/consensus/test_monitor.cpp.o.d"
+  "/root/repo/tests/consensus/test_robustness.cpp" "tests/CMakeFiles/xrpl_tests.dir/consensus/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/consensus/test_robustness.cpp.o.d"
+  "/root/repo/tests/core/test_anonymity.cpp" "tests/CMakeFiles/xrpl_tests.dir/core/test_anonymity.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/core/test_anonymity.cpp.o.d"
+  "/root/repo/tests/core/test_clustering.cpp" "tests/CMakeFiles/xrpl_tests.dir/core/test_clustering.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/core/test_clustering.cpp.o.d"
+  "/root/repo/tests/core/test_deanonymizer.cpp" "tests/CMakeFiles/xrpl_tests.dir/core/test_deanonymizer.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/core/test_deanonymizer.cpp.o.d"
+  "/root/repo/tests/core/test_features.cpp" "tests/CMakeFiles/xrpl_tests.dir/core/test_features.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/core/test_features.cpp.o.d"
+  "/root/repo/tests/core/test_fingerprint.cpp" "tests/CMakeFiles/xrpl_tests.dir/core/test_fingerprint.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/core/test_fingerprint.cpp.o.d"
+  "/root/repo/tests/core/test_ig_study.cpp" "tests/CMakeFiles/xrpl_tests.dir/core/test_ig_study.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/core/test_ig_study.cpp.o.d"
+  "/root/repo/tests/core/test_mitigation.cpp" "tests/CMakeFiles/xrpl_tests.dir/core/test_mitigation.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/core/test_mitigation.cpp.o.d"
+  "/root/repo/tests/core/test_resolution.cpp" "tests/CMakeFiles/xrpl_tests.dir/core/test_resolution.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/core/test_resolution.cpp.o.d"
+  "/root/repo/tests/datagen/test_history.cpp" "tests/CMakeFiles/xrpl_tests.dir/datagen/test_history.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/datagen/test_history.cpp.o.d"
+  "/root/repo/tests/datagen/test_population.cpp" "tests/CMakeFiles/xrpl_tests.dir/datagen/test_population.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/datagen/test_population.cpp.o.d"
+  "/root/repo/tests/datagen/test_spam.cpp" "tests/CMakeFiles/xrpl_tests.dir/datagen/test_spam.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/datagen/test_spam.cpp.o.d"
+  "/root/repo/tests/datagen/test_workload.cpp" "tests/CMakeFiles/xrpl_tests.dir/datagen/test_workload.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/datagen/test_workload.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/xrpl_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_full_system.cpp" "tests/CMakeFiles/xrpl_tests.dir/integration/test_full_system.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/integration/test_full_system.cpp.o.d"
+  "/root/repo/tests/ledger/test_amount.cpp" "tests/CMakeFiles/xrpl_tests.dir/ledger/test_amount.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/ledger/test_amount.cpp.o.d"
+  "/root/repo/tests/ledger/test_codec.cpp" "tests/CMakeFiles/xrpl_tests.dir/ledger/test_codec.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/ledger/test_codec.cpp.o.d"
+  "/root/repo/tests/ledger/test_ledger.cpp" "tests/CMakeFiles/xrpl_tests.dir/ledger/test_ledger.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/ledger/test_ledger.cpp.o.d"
+  "/root/repo/tests/ledger/test_ledger_history.cpp" "tests/CMakeFiles/xrpl_tests.dir/ledger/test_ledger_history.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/ledger/test_ledger_history.cpp.o.d"
+  "/root/repo/tests/ledger/test_transaction.cpp" "tests/CMakeFiles/xrpl_tests.dir/ledger/test_transaction.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/ledger/test_transaction.cpp.o.d"
+  "/root/repo/tests/ledger/test_trustline.cpp" "tests/CMakeFiles/xrpl_tests.dir/ledger/test_trustline.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/ledger/test_trustline.cpp.o.d"
+  "/root/repo/tests/ledger/test_types.cpp" "tests/CMakeFiles/xrpl_tests.dir/ledger/test_types.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/ledger/test_types.cpp.o.d"
+  "/root/repo/tests/node/test_node.cpp" "tests/CMakeFiles/xrpl_tests.dir/node/test_node.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/node/test_node.cpp.o.d"
+  "/root/repo/tests/node/test_tx_queue.cpp" "tests/CMakeFiles/xrpl_tests.dir/node/test_tx_queue.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/node/test_tx_queue.cpp.o.d"
+  "/root/repo/tests/paths/test_engine_properties.cpp" "tests/CMakeFiles/xrpl_tests.dir/paths/test_engine_properties.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/paths/test_engine_properties.cpp.o.d"
+  "/root/repo/tests/paths/test_order_book.cpp" "tests/CMakeFiles/xrpl_tests.dir/paths/test_order_book.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/paths/test_order_book.cpp.o.d"
+  "/root/repo/tests/paths/test_path_finder.cpp" "tests/CMakeFiles/xrpl_tests.dir/paths/test_path_finder.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/paths/test_path_finder.cpp.o.d"
+  "/root/repo/tests/paths/test_payment_engine.cpp" "tests/CMakeFiles/xrpl_tests.dir/paths/test_payment_engine.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/paths/test_payment_engine.cpp.o.d"
+  "/root/repo/tests/paths/test_replay.cpp" "tests/CMakeFiles/xrpl_tests.dir/paths/test_replay.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/paths/test_replay.cpp.o.d"
+  "/root/repo/tests/paths/test_trust_graph.cpp" "tests/CMakeFiles/xrpl_tests.dir/paths/test_trust_graph.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/paths/test_trust_graph.cpp.o.d"
+  "/root/repo/tests/paths/test_widest_path.cpp" "tests/CMakeFiles/xrpl_tests.dir/paths/test_widest_path.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/paths/test_widest_path.cpp.o.d"
+  "/root/repo/tests/util/test_base58.cpp" "tests/CMakeFiles/xrpl_tests.dir/util/test_base58.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/util/test_base58.cpp.o.d"
+  "/root/repo/tests/util/test_hex.cpp" "tests/CMakeFiles/xrpl_tests.dir/util/test_hex.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/util/test_hex.cpp.o.d"
+  "/root/repo/tests/util/test_ripple_time.cpp" "tests/CMakeFiles/xrpl_tests.dir/util/test_ripple_time.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/util/test_ripple_time.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/xrpl_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_sha256.cpp" "tests/CMakeFiles/xrpl_tests.dir/util/test_sha256.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/util/test_sha256.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/xrpl_tests.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_textplot.cpp" "tests/CMakeFiles/xrpl_tests.dir/util/test_textplot.cpp.o" "gcc" "tests/CMakeFiles/xrpl_tests.dir/util/test_textplot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xrpl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xrpl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
