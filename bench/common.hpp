@@ -1,12 +1,15 @@
 // Shared setup for the figure/table reproduction benches.
 //
-// Every bench regenerates the synthetic history from the same seed,
-// so their outputs are mutually consistent and bit-stable across
-// runs. XRPL_BENCH_PAYMENTS scales the history (default 250,000
-// payments, ~1/90 of the paper's 23M — all rates preserved).
+// The synthetic history is generated ONCE per process (see dataset())
+// from a fixed seed, so every bench in a binary — and every bench
+// binary — sees the same mutually consistent, bit-stable payments.
+// XRPL_BENCH_PAYMENTS scales the history (default 250,000 payments,
+// ~1/90 of the paper's 23M — all rates preserved).
 #pragma once
 
+#include <charconv>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -17,8 +20,16 @@ namespace xrpl::bench {
 inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
     const char* value = std::getenv(name);
     if (value == nullptr) return fallback;
-    const long long parsed = std::atoll(value);
-    return parsed > 0 ? static_cast<std::uint64_t>(parsed) : fallback;
+    std::uint64_t parsed = 0;
+    const char* end = value + std::strlen(value);
+    const auto [ptr, ec] = std::from_chars(value, end, parsed);
+    if (ec != std::errc{} || ptr != end || parsed == 0) {
+        std::cerr << "warning: ignoring malformed " << name << "='" << value
+                  << "' (expected a positive integer); using " << fallback
+                  << "\n";
+        return fallback;
+    }
+    return parsed;
 }
 
 inline datagen::GeneratorConfig default_history_config() {
@@ -43,15 +54,20 @@ inline void print_paper_note(const std::string& note) {
     std::cout << "paper: " << note << "\n";
 }
 
-inline datagen::GeneratedHistory generate_default_history() {
-    const datagen::GeneratorConfig config = default_history_config();
-    std::cout << "[generating history: " << config.target_payments
-              << " payments, seed " << config.seed << " ...]\n";
-    datagen::GeneratedHistory history = datagen::generate_history(config);
-    std::cout << "[done: " << history.records.size() << " payments over "
-              << history.pages << " ledger pages, "
-              << util::format_date(history.first_close) << " .. "
-              << util::format_date(history.last_close) << "]\n\n";
+/// The shared bench dataset, built on first use and reused by every
+/// bench in the process.
+inline const datagen::GeneratedHistory& dataset() {
+    static const datagen::GeneratedHistory history = [] {
+        const datagen::GeneratorConfig config = default_history_config();
+        std::cout << "[generating history: " << config.target_payments
+                  << " payments, seed " << config.seed << " ...]\n";
+        datagen::GeneratedHistory generated = datagen::generate_history(config);
+        std::cout << "[done: " << generated.payments.size()
+                  << " payments over " << generated.pages << " ledger pages, "
+                  << util::format_date(generated.first_close) << " .. "
+                  << util::format_date(generated.last_close) << "]\n\n";
+        return generated;
+    }();
     return history;
 }
 

@@ -14,13 +14,13 @@
 int main() {
     using namespace xrpl;
     bench::print_header("Extension", "anonymity-set size distribution");
-    const datagen::GeneratedHistory history = bench::generate_default_history();
+    const datagen::GeneratedHistory& history = bench::dataset();
 
     util::TextTable table({"configuration", "set=1 (IG)", "set<=3", "set<=10",
                            "mean set", "90% within"});
     for (const core::ResolutionConfig& config : core::fig3_configurations()) {
         const core::AnonymityProfile profile =
-            core::analyze_anonymity(history.records, config);
+            core::analyze_anonymity(history.payments.view(), config);
         table.add_row({config.label(),
                        util::format_percent(profile.identifiable_within(1)),
                        util::format_percent(profile.identifiable_within(3)),

@@ -8,7 +8,6 @@
 // candidate space fills up (the de Montjoye unicity effect in
 // reverse).
 #include <iostream>
-#include <span>
 
 #include "bench/common.hpp"
 #include "core/ig_study.hpp"
@@ -17,7 +16,7 @@
 int main() {
     using namespace xrpl;
     bench::print_header("Extension", "information gain vs history size");
-    const datagen::GeneratedHistory history = bench::generate_default_history();
+    const datagen::GeneratedHistory& history = bench::dataset();
 
     const core::ResolutionConfig configs[] = {
         core::fig3_configurations()[0],  // <Am; Tsc; C; D>
@@ -32,10 +31,9 @@ int main() {
 
     for (const double fraction : {0.05, 0.10, 0.25, 0.50, 1.00}) {
         const auto count = static_cast<std::size_t>(
-            fraction * static_cast<double>(history.records.size()));
-        const std::span<const ledger::TxRecord> prefix(history.records.data(),
-                                                       count);
-        const core::Deanonymizer deanonymizer(prefix);
+            fraction * static_cast<double>(history.payments.size()));
+        const core::Deanonymizer deanonymizer(
+            history.payments.view().prefix(count));
         std::vector<std::string> row = {
             util::format_percent(fraction), util::format_count(count)};
         for (const auto& config : configs) {

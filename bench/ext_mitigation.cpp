@@ -14,7 +14,7 @@
 int main() {
     using namespace xrpl;
     bench::print_header("Extension", "wallet rotation: cost and (in)effectiveness");
-    const datagen::GeneratedHistory history = bench::generate_default_history();
+    const datagen::GeneratedHistory& history = bench::dataset();
 
     // Each owner's wallets must recreate its trust lines.
     const auto trustlines_of = [&](const ledger::AccountID& owner) {
@@ -31,7 +31,7 @@ int main() {
         core::WalletRotationConfig config;
         config.wallets_per_sender = wallets;
         const core::MitigationReport report = core::evaluate_wallet_rotation(
-            history.records, resolution, config, trustlines_of);
+            history.payments, resolution, config, trustlines_of);
         table.add_row({std::to_string(wallets),
                        util::format_percent(report.rotated.information_gain()),
                        util::format_percent(report.linked.information_gain()),
@@ -40,7 +40,7 @@ int main() {
     }
     table.render(std::cout);
 
-    const core::Deanonymizer baseline(history.records);
+    const core::Deanonymizer baseline(history.payments);
     std::cout << "\nbaseline IG (no rotation): "
               << util::format_percent(
                      baseline.information_gain(resolution).information_gain())

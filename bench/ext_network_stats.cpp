@@ -17,10 +17,10 @@
 int main() {
     using namespace xrpl;
     bench::print_header("Extension", "ecosystem counts & trust-network shape");
-    const datagen::GeneratedHistory history = bench::generate_default_history();
+    const datagen::GeneratedHistory& history = bench::dataset();
 
     const analytics::NetworkStats stats =
-        analytics::compute_network_stats(history.ledger, history.records);
+        analytics::compute_network_stats(history.ledger, history.payments.view());
 
     util::TextTable table({"metric", "value"});
     table.add_row({"accounts", util::format_count(stats.accounts)});

@@ -11,9 +11,9 @@ int main() {
     using namespace xrpl;
     bench::print_header(
         "Fig 3", "information gain per feature list and resolution");
-    const datagen::GeneratedHistory history = bench::generate_default_history();
+    const datagen::GeneratedHistory& history = bench::dataset();
 
-    const auto rows = core::run_ig_study(history.records);
+    const auto rows = core::run_ig_study(history.payments);
 
     util::TextTable table({"configuration", "measured IG", "paper", "", "bar"});
     table.set_alignment({util::Align::kLeft, util::Align::kRight,

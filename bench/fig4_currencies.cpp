@@ -10,7 +10,7 @@
 int main() {
     using namespace xrpl;
     bench::print_header("Fig 4", "most used currencies, by payment count");
-    const datagen::GeneratedHistory history = bench::generate_default_history();
+    const datagen::GeneratedHistory& history = bench::dataset();
 
     const auto ranked = analytics::rank_currencies(history.currency_counts);
     std::vector<util::Bar> bars;
@@ -26,7 +26,7 @@ int main() {
     render_bar_chart(std::cout, bars, options);
 
     const datagen::SpamBreakdown spam =
-        datagen::spam_breakdown(history.records, history.population);
+        datagen::spam_breakdown(history.payments.view(), history.population);
     std::cout << "\nspam share of the stream: mtl="
               << util::format_count(spam.mtl)
               << "  cck=" << util::format_count(spam.cck)

@@ -11,7 +11,7 @@
 int main() {
     using namespace xrpl;
     bench::print_header("Fig 5", "survival function of payment amounts");
-    const datagen::GeneratedHistory history = bench::generate_default_history();
+    const datagen::GeneratedHistory& history = bench::dataset();
 
     // Global = currency-unaware distribution.
     std::vector<float> global;

@@ -11,14 +11,14 @@
 int main() {
     using namespace xrpl;
     bench::print_header("Fig 6", "intermediate hops and parallel paths");
-    const datagen::GeneratedHistory history = bench::generate_default_history();
+    const datagen::GeneratedHistory& history = bench::dataset();
 
     const analytics::PathStats stats = analytics::make_path_stats(
         history.hop_histogram, history.parallel_histogram);
 
     std::cout << "multi-hop payments analyzed: "
               << util::format_count(stats.multi_hop_total()) << " (of "
-              << util::format_count(history.records.size())
+              << util::format_count(history.payments.size())
               << " total; direct transfers excluded, as in the paper)\n\n";
 
     std::cout << "(a) number of payment paths per intermediate hop count:\n";

@@ -11,7 +11,7 @@
 int main() {
     using namespace xrpl;
     bench::print_header("Fig 7", "the 50 most frequent intermediate hops");
-    const datagen::GeneratedHistory history = bench::generate_default_history();
+    const datagen::GeneratedHistory& history = bench::dataset();
 
     const auto rate = [](ledger::Currency c) { return datagen::usd_value(c); };
     const auto label = [&](const ledger::AccountID& id) {

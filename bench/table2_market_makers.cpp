@@ -17,7 +17,7 @@
 int main() {
     using namespace xrpl;
     bench::print_header("Table II", "payments delivered without Market Makers");
-    datagen::GeneratedHistory history = bench::generate_default_history();
+    const datagen::GeneratedHistory& history = bench::dataset();
 
     const std::uint64_t replay_count =
         bench::env_u64("XRPL_BENCH_REPLAY_PAYMENTS", 40'000);

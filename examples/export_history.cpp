@@ -26,11 +26,11 @@ int generate(const std::string& path, std::uint64_t payments) {
     config.num_merchants = 300;
     std::cout << "generating " << payments << " payments...\n";
     const datagen::GeneratedHistory history = datagen::generate_history(config);
-    if (!ledger::save_records(path, history.records)) {
+    if (!ledger::save_records(path, history.to_records())) {
         std::cerr << "failed to write " << path << "\n";
         return 1;
     }
-    std::cout << "wrote " << history.records.size() << " records to " << path
+    std::cout << "wrote " << history.payments.size() << " records to " << path
               << " (sha256-sealed binary stream)\n";
     return 0;
 }

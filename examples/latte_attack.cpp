@@ -34,14 +34,14 @@ int main() {
     latte.destination = ledger::AccountID::from_seed("merchant:7");  // the bar
     latte.currency = ledger::Currency::from_code("USD");
     latte.amount = ledger::IouAmount::from_double(4.5);
-    latte.time = util::RippleTime{history.records.back().time.seconds + 5};
-    history.records.push_back(latte);
+    latte.time = util::RippleTime{history.payments.time_seconds.back() + 5};
+    history.payments.push_back(latte);
 
-    std::cout << "history: " << history.records.size()
+    std::cout << "history: " << history.payments.size()
               << " payments. Bob buys his latte at "
               << util::format(latte.time) << ".\n\n";
 
-    const core::Deanonymizer deanonymizer(history.records);
+    const core::Deanonymizer deanonymizer(history.payments);
 
     // Alice's observation: she does NOT know the sender.
     ledger::TxRecord observation = latte;

@@ -5,22 +5,13 @@
 
 namespace xrpl::analytics {
 
-NetworkStats compute_network_stats(const ledger::LedgerState& ledger,
-                                   std::span<const ledger::TxRecord> records) {
-    NetworkStats stats;
+namespace {
+
+/// The ledger-side stats shared by both overloads.
+void fill_ledger_stats(NetworkStats& stats, const ledger::LedgerState& ledger) {
     stats.accounts = ledger.account_count();
     stats.trust_lines = ledger.trustline_count();
     stats.live_offers = ledger.offer_count();
-
-    std::unordered_set<ledger::AccountID> senders;
-    std::unordered_set<ledger::AccountID> participants;
-    for (const ledger::TxRecord& record : records) {
-        senders.insert(record.sender);
-        participants.insert(record.sender);
-        participants.insert(record.destination);
-    }
-    stats.active_senders = senders.size();
-    stats.active_participants = participants.size();
 
     std::uint64_t degree_total = 0;
     for (std::uint32_t i = 0; i < ledger.account_count(); ++i) {
@@ -35,6 +26,46 @@ NetworkStats compute_network_stats(const ledger::LedgerState& ledger,
                             ? 0.0
                             : static_cast<double>(degree_total) /
                                   static_cast<double>(stats.accounts);
+}
+
+}  // namespace
+
+NetworkStats compute_network_stats(const ledger::LedgerState& ledger,
+                                   std::span<const ledger::TxRecord> records) {
+    NetworkStats stats;
+    fill_ledger_stats(stats, ledger);
+
+    std::unordered_set<ledger::AccountID> senders;
+    std::unordered_set<ledger::AccountID> participants;
+    for (const ledger::TxRecord& record : records) {
+        senders.insert(record.sender);
+        participants.insert(record.sender);
+        participants.insert(record.destination);
+    }
+    stats.active_senders = senders.size();
+    stats.active_participants = participants.size();
+    return stats;
+}
+
+NetworkStats compute_network_stats(const ledger::LedgerState& ledger,
+                                   ledger::PaymentView view) {
+    NetworkStats stats;
+    fill_ledger_stats(stats, ledger);
+
+    // Interned ids are dense, so set membership is two flag vectors.
+    const ledger::PaymentColumns& columns = view.columns();
+    const std::size_t offset = view.offset();
+    std::vector<bool> sent(columns.accounts.size(), false);
+    std::vector<bool> touched(columns.accounts.size(), false);
+    for (std::size_t i = 0; i < view.size(); ++i) {
+        sent[columns.sender_id[offset + i]] = true;
+        touched[columns.sender_id[offset + i]] = true;
+        touched[columns.dest_id[offset + i]] = true;
+    }
+    stats.active_senders =
+        static_cast<std::uint64_t>(std::count(sent.begin(), sent.end(), true));
+    stats.active_participants = static_cast<std::uint64_t>(
+        std::count(touched.begin(), touched.end(), true));
     return stats;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ledger/ledger.hpp"
+#include "ledger/payment_columns.hpp"
 #include "ledger/transaction.hpp"
 
 namespace xrpl::analytics {
@@ -32,6 +33,11 @@ struct NetworkStats {
 [[nodiscard]] NetworkStats compute_network_stats(
     const ledger::LedgerState& ledger,
     std::span<const ledger::TxRecord> records);
+
+/// Column-native overload: distinct-sender/participant counts come
+/// from flag vectors over the interner (no AccountID hashing).
+[[nodiscard]] NetworkStats compute_network_stats(
+    const ledger::LedgerState& ledger, ledger::PaymentView view);
 
 /// Gini coefficient of a non-negative weight vector (0 = egalitarian,
 /// ->1 = fully concentrated). Used for the intermediary-concentration

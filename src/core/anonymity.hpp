@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/features.hpp"
+#include "ledger/payment_columns.hpp"
 #include "ledger/transaction.hpp"
 
 namespace xrpl::core {
@@ -50,5 +51,10 @@ private:
 /// Analyze the whole history under `config`.
 [[nodiscard]] AnonymityProfile analyze_anonymity(
     std::span<const ledger::TxRecord> records, const ResolutionConfig& config);
+
+/// Column-native overload: identical profile, computed from one
+/// batched fingerprint pass with interned u32 sender sets.
+[[nodiscard]] AnonymityProfile analyze_anonymity(ledger::PaymentView view,
+                                                 const ResolutionConfig& config);
 
 }  // namespace xrpl::core

@@ -1,6 +1,7 @@
 #include "core/deanonymizer.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace xrpl::core {
 
@@ -9,6 +10,10 @@ const std::vector<std::uint32_t> kNoMatches;
 }  // namespace
 
 IgResult Deanonymizer::information_gain(const ResolutionConfig& config) const {
+    return view_ ? information_gain_columns(config) : information_gain_rows(config);
+}
+
+IgResult Deanonymizer::information_gain_rows(const ResolutionConfig& config) const {
     // fingerprint -> (first sender seen, is-multi-sender flag)
     struct Bucket {
         ledger::AccountID sender;
@@ -34,10 +39,60 @@ IgResult Deanonymizer::information_gain(const ResolutionConfig& config) const {
     return result;
 }
 
+IgResult Deanonymizer::information_gain_columns(
+    const ResolutionConfig& config) const {
+    // One batched column pass; the fingerprint vector then serves both
+    // the bucket-build and the counting pass (the row path pays the
+    // full fingerprint twice).
+    const std::vector<std::uint64_t> fingerprints =
+        fingerprint_column(*view_, config);
+    const ledger::PaymentColumns& columns = view_->columns();
+    const std::size_t offset = view_->offset();
+
+    // fingerprint -> (first interned sender seen, is-multi-sender flag)
+    struct Bucket {
+        std::uint32_t sender = 0;
+        bool multi = false;
+    };
+    std::unordered_map<std::uint64_t, Bucket> buckets;
+    buckets.reserve(fingerprints.size());
+
+    for (std::size_t i = 0; i < fingerprints.size(); ++i) {
+        const std::uint32_t sender = columns.sender_id[offset + i];
+        auto [it, inserted] =
+            buckets.try_emplace(fingerprints[i], Bucket{sender, false});
+        if (!inserted && it->second.sender != sender) it->second.multi = true;
+    }
+
+    IgResult result;
+    result.total_payments = fingerprints.size();
+    for (const std::uint64_t fp : fingerprints) {
+        if (!buckets.at(fp).multi) ++result.uniquely_identified;
+    }
+    return result;
+}
+
 std::vector<ledger::AccountID> Deanonymizer::attack(
     const ledger::TxRecord& observation, const ResolutionConfig& config) const {
     const std::uint64_t fp = fingerprint(observation, config);
     std::vector<ledger::AccountID> senders;
+
+    if (view_) {
+        const std::vector<std::uint64_t> fingerprints =
+            fingerprint_column(*view_, config);
+        const ledger::PaymentColumns& columns = view_->columns();
+        const std::size_t offset = view_->offset();
+        std::unordered_set<std::uint32_t> seen;
+        for (std::size_t i = 0; i < fingerprints.size(); ++i) {
+            if (fingerprints[i] != fp) continue;
+            const std::uint32_t sender = columns.sender_id[offset + i];
+            if (seen.insert(sender).second) {
+                senders.push_back(columns.accounts.at(sender));
+            }
+        }
+        return senders;
+    }
+
     for (const ledger::TxRecord& record : records_) {
         if (fingerprint(record, config) != fp) continue;
         if (std::find(senders.begin(), senders.end(), record.sender) ==
@@ -51,6 +106,20 @@ std::vector<ledger::AccountID> Deanonymizer::attack(
 std::vector<ledger::TxRecord> Deanonymizer::history_of(
     const ledger::AccountID& account) const {
     std::vector<ledger::TxRecord> history;
+
+    if (view_) {
+        const ledger::PaymentColumns& columns = view_->columns();
+        const std::optional<std::uint32_t> id = columns.accounts.find(account);
+        if (!id) return history;
+        const std::size_t offset = view_->offset();
+        for (std::size_t i = 0; i < view_->size(); ++i) {
+            if (columns.sender_id[offset + i] == *id) {
+                history.push_back(columns.row(offset + i));
+            }
+        }
+        return history;
+    }
+
     for (const ledger::TxRecord& record : records_) {
         if (record.sender == account) history.push_back(record);
     }
@@ -66,6 +135,28 @@ AttackIndex::AttackIndex(std::span<const ledger::TxRecord> records,
     }
 }
 
+AttackIndex::AttackIndex(const ledger::PaymentColumns& payments,
+                         ResolutionConfig config)
+    : AttackIndex(payments.view(), config) {}
+
+AttackIndex::AttackIndex(ledger::PaymentView view, ResolutionConfig config)
+    : view_(view), config_(config) {
+    const std::vector<std::uint64_t> fingerprints =
+        fingerprint_column(view, config_);
+    index_.reserve(fingerprints.size());
+    for (std::uint32_t i = 0; i < fingerprints.size(); ++i) {
+        index_[fingerprints[i]].push_back(i);
+    }
+}
+
+const ledger::AccountID& AttackIndex::sender_of(std::uint32_t i) const noexcept {
+    if (view_) {
+        const ledger::PaymentColumns& columns = view_->columns();
+        return columns.accounts.at(columns.sender_id[view_->offset() + i]);
+    }
+    return records_[i].sender;
+}
+
 const std::vector<std::uint32_t>& AttackIndex::matches(
     const ledger::TxRecord& observation) const {
     const auto it = index_.find(fingerprint(observation, config_));
@@ -76,7 +167,7 @@ std::vector<ledger::AccountID> AttackIndex::candidate_senders(
     const ledger::TxRecord& observation) const {
     std::vector<ledger::AccountID> senders;
     for (const std::uint32_t i : matches(observation)) {
-        const ledger::AccountID& sender = records_[i].sender;
+        const ledger::AccountID& sender = sender_of(i);
         if (std::find(senders.begin(), senders.end(), sender) == senders.end()) {
             senders.push_back(sender);
         }

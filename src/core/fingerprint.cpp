@@ -8,6 +8,15 @@ namespace xrpl::core {
 
 namespace {
 
+// Per-field domain tags, XORed into the first word a field mixes.
+// All four are distinct, so the mixed stream of one feature subset can
+// never reproduce the stream of another (⟨A,−,−,−⟩ vs ⟨−,T,−,−⟩ used
+// to be separated only by mix count; ⟨−,−,C,−⟩ carried the lone tag).
+constexpr std::uint64_t kAmountDomain = 0xa24baed4963ee407ULL;
+constexpr std::uint64_t kTimeDomain = 0x9fb21c651e98df25ULL;
+constexpr std::uint64_t kCurrencyDomain = 0x4000000000000000ULL;  // 1<<62, as before
+constexpr std::uint64_t kDestinationDomain = 0x2b7e151628aed2a6ULL;
+
 std::uint64_t avalanche(std::uint64_t x) noexcept {
     x ^= x >> 33;
     x *= 0xff51afd7ed558ccdULL;
@@ -30,6 +39,20 @@ std::uint64_t account_word(const ledger::AccountID& id) noexcept {
     return word ^ avalanche(rest);
 }
 
+std::uint64_t currency_word(const ledger::Currency& currency) noexcept {
+    std::uint64_t code = 0;
+    for (const char c : currency.code) {
+        code = (code << 8) | static_cast<unsigned char>(c);
+    }
+    return code;
+}
+
+void mix_amount(FingerprintHasher& hasher, const ledger::IouAmount& rounded) noexcept {
+    hasher.mix(static_cast<std::uint64_t>(rounded.mantissa()) ^ kAmountDomain);
+    hasher.mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(rounded.exponent())));
+}
+
 }  // namespace
 
 void FingerprintHasher::mix(std::uint64_t value) noexcept {
@@ -41,27 +64,78 @@ std::uint64_t fingerprint(const ledger::TxRecord& record,
     FingerprintHasher hasher;
 
     if (config.amount) {
-        const ledger::IouAmount rounded =
-            round_amount(record.amount, record.currency, *config.amount);
-        hasher.mix(static_cast<std::uint64_t>(rounded.mantissa()));
-        hasher.mix(static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(rounded.exponent())));
+        mix_amount(hasher,
+                   round_amount(record.amount, record.currency, *config.amount));
     }
     if (config.time) {
         const util::RippleTime truncated = util::truncate(record.time, *config.time);
-        hasher.mix(static_cast<std::uint64_t>(truncated.seconds));
+        hasher.mix(static_cast<std::uint64_t>(truncated.seconds) ^ kTimeDomain);
     }
     if (config.use_currency) {
-        std::uint64_t code = 0;
-        for (const char c : record.currency.code) {
-            code = (code << 8) | static_cast<unsigned char>(c);
-        }
-        hasher.mix(code | (1ULL << 62));  // tag so "no currency" differs
+        hasher.mix(currency_word(record.currency) ^ kCurrencyDomain);
     }
     if (config.use_destination) {
-        hasher.mix(account_word(record.destination));
+        hasher.mix(account_word(record.destination) ^ kDestinationDomain);
     }
     return hasher.digest();
+}
+
+std::vector<std::uint64_t> fingerprint_column(const ledger::PaymentView& view,
+                                              const ResolutionConfig& config) {
+    const ledger::PaymentColumns& columns = view.columns();
+    const std::size_t offset = view.offset();
+    const std::size_t n = view.size();
+    std::vector<std::uint64_t> fingerprints(n);
+    if (n == 0) return fingerprints;
+
+    // Destination hash words: fold each distinct account once instead
+    // of re-folding 20 bytes per payment.
+    std::vector<std::uint64_t> dest_words;
+    if (config.use_destination) {
+        dest_words.resize(columns.accounts.size());
+        for (std::uint32_t a = 0; a < dest_words.size(); ++a) {
+            dest_words[a] = account_word(columns.accounts.at(a)) ^ kDestinationDomain;
+        }
+    }
+
+    // Per-currency context: code word and Table I rounding unit, each
+    // resolved once per currency group instead of once per payment.
+    struct CurrencyContext {
+        std::uint64_t word = 0;
+        RoundingUnit unit;
+    };
+    std::vector<CurrencyContext> currency_context(columns.currencies.size());
+    for (std::uint16_t c = 0; c < currency_context.size(); ++c) {
+        const ledger::Currency& currency = columns.currencies.at(c);
+        currency_context[c].word = currency_word(currency) ^ kCurrencyDomain;
+        if (config.amount) {
+            currency_context[c].unit = rounding_unit(currency, *config.amount);
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = offset + i;
+        FingerprintHasher hasher;
+        if (config.amount) {
+            const ledger::IouAmount amount = ledger::IouAmount::from_mantissa_exponent(
+                columns.amount_mantissa[r], columns.amount_exponent[r]);
+            mix_amount(hasher, round_amount(
+                                   amount, currency_context[columns.currency_id[r]].unit));
+        }
+        if (config.time) {
+            const util::RippleTime truncated = util::truncate(
+                util::RippleTime{columns.time_seconds[r]}, *config.time);
+            hasher.mix(static_cast<std::uint64_t>(truncated.seconds) ^ kTimeDomain);
+        }
+        if (config.use_currency) {
+            hasher.mix(currency_context[columns.currency_id[r]].word);
+        }
+        if (config.use_destination) {
+            hasher.mix(dest_words[columns.dest_id[r]]);
+        }
+        fingerprints[i] = hasher.digest();
+    }
+    return fingerprints;
 }
 
 }  // namespace xrpl::core

@@ -5,11 +5,26 @@
 // with equal fingerprints are indistinguishable to that attacker;
 // the sender is "uniquely identified" when every payment sharing a
 // fingerprint has the same sender (§V-B).
+//
+// Every field mixes under its own 64-bit domain tag (amount, time,
+// currency, destination all distinct), so fingerprints built from
+// different feature subsets — e.g. ⟨A,−,−,−⟩ vs ⟨−,T,−,−⟩ — can never
+// collide structurally, only through (negligible) hash accident.
+//
+// Two evaluation paths produce bit-identical fingerprints:
+//  * fingerprint(record, config): one row at a time (legacy callers).
+//  * fingerprint_column(view, config): the whole history in one pass
+//    over the columnar store, with per-column precomputation — each
+//    distinct account is folded to its hash word once, each currency
+//    resolves its code word and Table I rounding unit once, and the
+//    per-row loop touches only dense columns.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/features.hpp"
+#include "ledger/payment_columns.hpp"
 #include "ledger/transaction.hpp"
 
 namespace xrpl::core {
@@ -29,5 +44,11 @@ private:
 /// part of the fingerprint — it is what the attacker wants to learn.
 [[nodiscard]] std::uint64_t fingerprint(const ledger::TxRecord& record,
                                         const ResolutionConfig& config) noexcept;
+
+/// Fingerprints of every payment in `view`, in row order. Bit-identical
+/// to calling fingerprint() on each reconstructed row, but computed
+/// column-wise with interner-table precomputation.
+[[nodiscard]] std::vector<std::uint64_t> fingerprint_column(
+    const ledger::PaymentView& view, const ResolutionConfig& config);
 
 }  // namespace xrpl::core

@@ -39,8 +39,9 @@ PaperReference fig3_paper_reference(std::size_t index) noexcept {
     }
 }
 
-std::vector<IgStudyRow> run_ig_study(std::span<const ledger::TxRecord> records) {
-    const Deanonymizer deanonymizer(records);
+namespace {
+
+std::vector<IgStudyRow> run_study(const Deanonymizer& deanonymizer) {
     std::vector<IgStudyRow> rows;
     const std::vector<ResolutionConfig> configs = fig3_configurations();
     rows.reserve(configs.size());
@@ -54,6 +55,20 @@ std::vector<IgStudyRow> run_ig_study(std::span<const ledger::TxRecord> records) 
         rows.push_back(std::move(row));
     }
     return rows;
+}
+
+}  // namespace
+
+std::vector<IgStudyRow> run_ig_study(std::span<const ledger::TxRecord> records) {
+    return run_study(Deanonymizer(records));
+}
+
+std::vector<IgStudyRow> run_ig_study(const ledger::PaymentColumns& payments) {
+    return run_study(Deanonymizer(payments));
+}
+
+std::vector<IgStudyRow> run_ig_study(ledger::PaymentView view) {
+    return run_study(Deanonymizer(view));
 }
 
 }  // namespace xrpl::core

@@ -33,8 +33,14 @@ struct PaperReference {
 };
 [[nodiscard]] PaperReference fig3_paper_reference(std::size_t index) noexcept;
 
-/// Run the whole study over a payment history.
+/// Run the whole study over a payment history (legacy row path).
 [[nodiscard]] std::vector<IgStudyRow> run_ig_study(
     std::span<const ledger::TxRecord> records);
+
+/// Column-native overloads: same IgResults, one batched fingerprint
+/// pass per configuration instead of two row scans.
+[[nodiscard]] std::vector<IgStudyRow> run_ig_study(
+    const ledger::PaymentColumns& payments);
+[[nodiscard]] std::vector<IgStudyRow> run_ig_study(ledger::PaymentView view);
 
 }  // namespace xrpl::core

@@ -110,4 +110,98 @@ MitigationReport evaluate_wallet_rotation(
     return report;
 }
 
+RotatedColumns apply_wallet_rotation(
+    const ledger::PaymentColumns& payments, const WalletRotationConfig& config,
+    const std::function<std::size_t(const ledger::AccountID&)>& trustlines_of) {
+    RotatedColumns out;
+    out.payments = payments;
+    out.owner_id.assign(payments.sender_id.begin(), payments.sender_id.end());
+
+    const std::size_t pool =
+        config.wallets_per_sender == 0 ? 1 : config.wallets_per_sender;
+
+    // The interner makes owners dense: build each owner's wallet pool
+    // at most once (the row path derives a base58 seed per payment).
+    struct OwnerState {
+        std::vector<std::uint32_t> wallets;  // interned wallet ids
+        std::size_t cursor = 0;
+    };
+    std::unordered_map<std::uint32_t, OwnerState> state;
+
+    for (std::size_t i = 0; i < out.payments.size(); ++i) {
+        const std::uint32_t owner = out.owner_id[i];
+        auto [it, inserted] = state.try_emplace(owner);
+        OwnerState& owner_state = it->second;
+        if (inserted) {
+            const ledger::AccountID owner_account = out.payments.accounts.at(owner);
+            owner_state.wallets.reserve(pool);
+            for (std::size_t k = 0; k < pool; ++k) {
+                const ledger::AccountID wallet = wallet_id(owner_account, k);
+                owner_state.wallets.push_back(out.payments.accounts.intern(wallet));
+                out.wallet_owner.emplace(wallet, owner_account);
+            }
+        }
+        out.payments.sender_id[i] =
+            owner_state.wallets[owner_state.cursor++ % pool];
+    }
+
+    for (const auto& [owner, owner_state] : state) {
+        const std::size_t lines = trustlines_of(out.payments.accounts.at(owner));
+        out.wallets_created += pool;
+        out.trustlines_created += pool * lines;
+        out.xrp_reserve_cost +=
+            static_cast<double>(pool) * config.xrp_reserve_per_wallet +
+            static_cast<double>(pool * lines) * config.xrp_reserve_per_trustline;
+    }
+    return out;
+}
+
+IgResult linked_information_gain(const RotatedColumns& rotated,
+                                 const ResolutionConfig& config) {
+    const std::vector<std::uint64_t> fingerprints =
+        fingerprint_column(rotated.payments.view(), config);
+
+    struct Bucket {
+        std::uint32_t owner;
+        bool multi = false;
+    };
+    std::unordered_map<std::uint64_t, Bucket> buckets;
+    buckets.reserve(fingerprints.size());
+
+    for (std::size_t i = 0; i < fingerprints.size(); ++i) {
+        const std::uint32_t owner = rotated.owner_id[i];
+        auto [it, inserted] =
+            buckets.try_emplace(fingerprints[i], Bucket{owner, false});
+        if (!inserted && it->second.owner != owner) it->second.multi = true;
+    }
+
+    IgResult result;
+    result.total_payments = fingerprints.size();
+    for (const std::uint64_t fp : fingerprints) {
+        if (!buckets.at(fp).multi) ++result.uniquely_identified;
+    }
+    return result;
+}
+
+MitigationReport evaluate_wallet_rotation(
+    const ledger::PaymentColumns& payments, const ResolutionConfig& resolution,
+    const WalletRotationConfig& config,
+    const std::function<std::size_t(const ledger::AccountID&)>& trustlines_of) {
+    MitigationReport report;
+
+    const Deanonymizer baseline(payments);
+    report.baseline = baseline.information_gain(resolution);
+
+    const RotatedColumns rotated =
+        apply_wallet_rotation(payments, config, trustlines_of);
+    const Deanonymizer after(rotated.payments);
+    report.rotated = after.information_gain(resolution);
+    report.linked = linked_information_gain(rotated, resolution);
+
+    report.wallets_created = rotated.wallets_created;
+    report.trustlines_created = rotated.trustlines_created;
+    report.xrp_reserve_cost = rotated.xrp_reserve_cost;
+    return report;
+}
+
 }  // namespace xrpl::core

@@ -25,6 +25,7 @@
 #include "core/anonymity.hpp"
 #include "core/deanonymizer.hpp"
 #include "core/features.hpp"
+#include "ledger/payment_columns.hpp"
 #include "ledger/transaction.hpp"
 
 namespace xrpl::core {
@@ -63,6 +64,30 @@ struct RotatedHistory {
 [[nodiscard]] IgResult linked_information_gain(const RotatedHistory& rotated,
                                                const ResolutionConfig& config);
 
+/// Columnar counterpart of RotatedHistory: the rotated payments stay
+/// in columnar form (wallet accounts appended to the interner, the
+/// sender column remapped) and the ground-truth owner of each payment
+/// rides along as a parallel column of interned ids.
+struct RotatedColumns {
+    ledger::PaymentColumns payments;
+    /// Per payment: interned id (in payments.accounts) of the owner.
+    std::vector<std::uint32_t> owner_id;
+    std::unordered_map<ledger::AccountID, ledger::AccountID> wallet_owner;
+    std::uint64_t wallets_created = 0;
+    std::uint64_t trustlines_created = 0;
+    double xrp_reserve_cost = 0.0;
+};
+
+/// Column-native rotation: derives each owner's wallet pool once (the
+/// row path re-derives the wallet id per payment) and rewrites only
+/// the sender column.
+[[nodiscard]] RotatedColumns apply_wallet_rotation(
+    const ledger::PaymentColumns& payments, const WalletRotationConfig& config,
+    const std::function<std::size_t(const ledger::AccountID&)>& trustlines_of);
+
+[[nodiscard]] IgResult linked_information_gain(const RotatedColumns& rotated,
+                                               const ResolutionConfig& config);
+
 /// The full before/after/linked comparison for one resolution config.
 struct MitigationReport {
     IgResult baseline;        // original history
@@ -75,6 +100,13 @@ struct MitigationReport {
 
 [[nodiscard]] MitigationReport evaluate_wallet_rotation(
     std::span<const ledger::TxRecord> records, const ResolutionConfig& resolution,
+    const WalletRotationConfig& config,
+    const std::function<std::size_t(const ledger::AccountID&)>& trustlines_of);
+
+/// Column-native evaluation; same report, one batched fingerprint
+/// pass per IG instead of two row scans each.
+[[nodiscard]] MitigationReport evaluate_wallet_rotation(
+    const ledger::PaymentColumns& payments, const ResolutionConfig& resolution,
     const WalletRotationConfig& config,
     const std::function<std::size_t(const ledger::AccountID&)>& trustlines_of);
 

@@ -64,9 +64,8 @@ RoundingUnit rounding_unit(ledger::Currency currency,
     return {1, p0};
 }
 
-ledger::IouAmount round_amount(ledger::IouAmount value, ledger::Currency currency,
-                               AmountResolution resolution) noexcept {
-    const RoundingUnit unit = rounding_unit(currency, resolution);
+ledger::IouAmount round_amount(ledger::IouAmount value,
+                               RoundingUnit unit) noexcept {
     if (unit.digit == 1) {
         return value.round_to_power_of_ten(unit.power);
     }
@@ -74,6 +73,11 @@ ledger::IouAmount round_amount(ledger::IouAmount value, ledger::Currency currenc
     // back. The scalings are exact in decimal (x0.2 and x5 shift the
     // mantissa by a digit).
     return value.scaled_by(0.2).round_to_power_of_ten(unit.power).scaled_by(5.0);
+}
+
+ledger::IouAmount round_amount(ledger::IouAmount value, ledger::Currency currency,
+                               AmountResolution resolution) noexcept {
+    return round_amount(value, rounding_unit(currency, resolution));
 }
 
 }  // namespace xrpl::core

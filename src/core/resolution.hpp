@@ -47,4 +47,10 @@ struct RoundingUnit {
 [[nodiscard]] RoundingUnit rounding_unit(ledger::Currency currency,
                                          AmountResolution resolution) noexcept;
 
+/// Round with a precomputed unit. The currency overload delegates
+/// here; columnar scans hoist the rounding_unit lookup out of the
+/// per-payment loop (one lookup per currency group, not per row).
+[[nodiscard]] ledger::IouAmount round_amount(ledger::IouAmount value,
+                                             RoundingUnit unit) noexcept;
+
 }  // namespace xrpl::core

@@ -18,11 +18,11 @@ GeneratedHistory generate_history(const GeneratorConfig& config) {
     paths::PaymentEngine engine(history.ledger);
     WorkloadGenerator workload(config, history.population, engine, rng);
 
-    history.records.reserve(config.target_payments);
+    history.payments.reserve(config.target_payments);
     history.first_close = config.start_time;
 
     auto sink = [&](const WorkloadOutcome& outcome) {
-        history.records.push_back(outcome.record);
+        history.payments.push_back(outcome.record);
         ++history.category_counts[static_cast<std::size_t>(outcome.category)];
 
         ++history.currency_counts[outcome.record.currency];
@@ -53,7 +53,7 @@ GeneratedHistory generate_history(const GeneratorConfig& config) {
     };
 
     util::RippleTime clock = config.start_time;
-    while (history.records.size() < config.target_payments) {
+    while (history.payments.size() < config.target_payments) {
         clock.seconds += static_cast<std::int64_t>(
             config.page_interval_seconds + rng.uniform(-0.5, 1.5));
         workload.emit_page(clock, sink);

@@ -18,6 +18,7 @@
 #include "datagen/population.hpp"
 #include "datagen/workload.hpp"
 #include "ledger/ledger.hpp"
+#include "ledger/payment_columns.hpp"
 #include "ledger/transaction.hpp"
 #include "paths/payment_engine.hpp"
 
@@ -26,7 +27,14 @@ namespace xrpl::datagen {
 struct GeneratedHistory {
     ledger::LedgerState ledger;
     Population population;
-    std::vector<ledger::TxRecord> records;
+    /// The canonical payment dataset: columnar, dictionary-encoded.
+    /// Consumers needing AoS rows call to_records() (a copy) or
+    /// payments.view() (zero-copy).
+    ledger::PaymentColumns payments;
+
+    [[nodiscard]] std::vector<ledger::TxRecord> to_records() const {
+        return payments.to_records();
+    }
 
     // --- aggregates, filled while the history streams past -----------
     std::unordered_map<ledger::Currency, std::uint64_t> currency_counts;

@@ -11,6 +11,7 @@
 #include <span>
 
 #include "datagen/population.hpp"
+#include "ledger/payment_columns.hpp"
 #include "ledger/transaction.hpp"
 
 namespace xrpl::datagen {
@@ -44,5 +45,10 @@ struct SpamBreakdown {
 
 [[nodiscard]] SpamBreakdown spam_breakdown(
     std::span<const ledger::TxRecord> records, const Population& population);
+
+/// Column-native overload: resolves the campaign accounts/currencies to
+/// interned ids once, then classifies on the integer columns.
+[[nodiscard]] SpamBreakdown spam_breakdown(ledger::PaymentView view,
+                                           const Population& population);
 
 }  // namespace xrpl::datagen

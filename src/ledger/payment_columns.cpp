@@ -1,0 +1,76 @@
+#include "ledger/payment_columns.hpp"
+
+namespace xrpl::ledger {
+
+std::uint32_t AccountInterner::intern(const AccountID& id) {
+    const auto [it, inserted] =
+        index_.try_emplace(id, static_cast<std::uint32_t>(ids_.size()));
+    if (inserted) ids_.push_back(id);
+    return it->second;
+}
+
+std::optional<std::uint32_t> AccountInterner::find(const AccountID& id) const {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::uint16_t CurrencyInterner::intern(const Currency& currency) {
+    const auto [it, inserted] =
+        index_.try_emplace(currency, static_cast<std::uint16_t>(currencies_.size()));
+    if (inserted) currencies_.push_back(currency);
+    return it->second;
+}
+
+std::optional<std::uint16_t> CurrencyInterner::find(
+    const Currency& currency) const {
+    const auto it = index_.find(currency);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+}
+
+void PaymentColumns::reserve(std::size_t n) {
+    sender_id.reserve(n);
+    dest_id.reserve(n);
+    currency_id.reserve(n);
+    amount_mantissa.reserve(n);
+    amount_exponent.reserve(n);
+    time_seconds.reserve(n);
+}
+
+void PaymentColumns::push_back(const TxRecord& record) {
+    sender_id.push_back(accounts.intern(record.sender));
+    dest_id.push_back(accounts.intern(record.destination));
+    currency_id.push_back(currencies.intern(record.currency));
+    amount_mantissa.push_back(record.amount.mantissa());
+    // IouAmount exponents live in [-96, 80]: int8_t holds them exactly.
+    amount_exponent.push_back(static_cast<std::int8_t>(record.amount.exponent()));
+    time_seconds.push_back(record.time.seconds);
+}
+
+TxRecord PaymentColumns::row(std::size_t i) const noexcept {
+    TxRecord record;
+    record.sender = accounts.at(sender_id[i]);
+    record.destination = accounts.at(dest_id[i]);
+    record.currency = currencies.at(currency_id[i]);
+    record.amount = IouAmount::from_mantissa_exponent(amount_mantissa[i],
+                                                      amount_exponent[i]);
+    record.time = util::RippleTime{time_seconds[i]};
+    return record;
+}
+
+std::vector<TxRecord> PaymentColumns::to_records() const {
+    std::vector<TxRecord> records;
+    records.reserve(size());
+    for (std::size_t i = 0; i < size(); ++i) records.push_back(row(i));
+    return records;
+}
+
+PaymentColumns PaymentColumns::from_records(std::span<const TxRecord> records) {
+    PaymentColumns columns;
+    columns.reserve(records.size());
+    for (const TxRecord& record : records) columns.push_back(record);
+    return columns;
+}
+
+}  // namespace xrpl::ledger

@@ -1,0 +1,178 @@
+// Columnar payment dataset — the canonical in-memory representation
+// of a payment history.
+//
+// The de-anonymization study scans the same 23M-payment history once
+// per resolution configuration. Storing payments as an array of
+// TxRecord structs wastes both space (two 20-byte AccountIDs per row,
+// repeated for every payment a hub sends) and time (every scan
+// re-folds those 20 bytes into hash words). PaymentColumns stores the
+// five ⟨S, A, T, C, D⟩ features as separate columns of dense ids:
+// accounts and currencies are interned once into dictionary tables,
+// rows carry 4-byte (account) / 2-byte (currency) ids, and amounts
+// split into their decimal mantissa/exponent pair. Per-column
+// precomputation (rounding a currency group once, truncating the time
+// column once, hashing each distinct account once) then amortizes
+// across all 23M rows — the same canonical-storage/row-view split
+// rippled's SHAMap adapters apply.
+//
+// PaymentView is the zero-copy row adapter: legacy consumers iterate
+// it and receive TxRecord-shaped rows reconstructed on the fly, so
+// the row-oriented API keeps working during (and after) migration.
+#pragma once
+
+#include <cstdint>
+#include <iterator>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ledger/transaction.hpp"
+
+namespace xrpl::ledger {
+
+/// Dictionary-encodes 20-byte AccountIDs into dense u32 ids.
+/// Ids are assigned in first-seen order and never change.
+class AccountInterner {
+public:
+    /// Id of `id`, interning it if new.
+    std::uint32_t intern(const AccountID& id);
+
+    /// Id of `id` if already interned.
+    [[nodiscard]] std::optional<std::uint32_t> find(const AccountID& id) const;
+
+    [[nodiscard]] const AccountID& at(std::uint32_t index) const noexcept {
+        return ids_[index];
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+
+private:
+    std::vector<AccountID> ids_;
+    std::unordered_map<AccountID, std::uint32_t> index_;
+};
+
+/// Dictionary-encodes 3-char currency codes into dense u16 ids.
+class CurrencyInterner {
+public:
+    std::uint16_t intern(const Currency& currency);
+
+    [[nodiscard]] std::optional<std::uint16_t> find(const Currency& currency) const;
+
+    [[nodiscard]] const Currency& at(std::uint16_t index) const noexcept {
+        return currencies_[index];
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return currencies_.size(); }
+
+private:
+    std::vector<Currency> currencies_;
+    std::unordered_map<Currency, std::uint16_t> index_;
+};
+
+class PaymentView;
+
+/// Structure-of-arrays payment store. One entry per payment across
+/// all columns; account/currency columns hold interned ids.
+struct PaymentColumns {
+    std::vector<std::uint32_t> sender_id;       // S
+    std::vector<std::uint32_t> dest_id;         // D
+    std::vector<std::uint16_t> currency_id;     // C
+    std::vector<std::int64_t> amount_mantissa;  // A (normalized decimal
+    std::vector<std::int8_t> amount_exponent;   //    mantissa/exponent)
+    std::vector<std::int64_t> time_seconds;     // T (Ripple epoch)
+
+    AccountInterner accounts;
+    CurrencyInterner currencies;
+
+    [[nodiscard]] std::size_t size() const noexcept { return sender_id.size(); }
+    [[nodiscard]] bool empty() const noexcept { return sender_id.empty(); }
+
+    void reserve(std::size_t n);
+    void push_back(const TxRecord& record);
+
+    /// Reconstruct row `i` as a legacy TxRecord.
+    [[nodiscard]] TxRecord row(std::size_t i) const noexcept;
+
+    /// Materialize the whole store as rows (migration escape hatch).
+    [[nodiscard]] std::vector<TxRecord> to_records() const;
+
+    /// Zero-copy row view over all payments.
+    [[nodiscard]] PaymentView view() const noexcept;
+
+    [[nodiscard]] static PaymentColumns from_records(
+        std::span<const TxRecord> records);
+};
+
+/// Zero-copy window [offset, offset+count) over a PaymentColumns.
+/// Iterating yields TxRecord-shaped rows reconstructed on the fly;
+/// column-native consumers reach through columns()/offset() instead.
+class PaymentView {
+public:
+    PaymentView() noexcept = default;
+    PaymentView(const PaymentColumns& columns, std::size_t offset,
+                std::size_t count) noexcept
+        : columns_(&columns), offset_(offset), count_(count) {}
+
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+    [[nodiscard]] TxRecord operator[](std::size_t i) const noexcept {
+        return columns_->row(offset_ + i);
+    }
+    [[nodiscard]] TxRecord front() const noexcept { return (*this)[0]; }
+    [[nodiscard]] TxRecord back() const noexcept { return (*this)[count_ - 1]; }
+
+    /// The first `n` rows (clamped).
+    [[nodiscard]] PaymentView prefix(std::size_t n) const noexcept {
+        return PaymentView(*columns_, offset_, n < count_ ? n : count_);
+    }
+
+    [[nodiscard]] const PaymentColumns& columns() const noexcept {
+        return *columns_;
+    }
+    [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+    class iterator {
+    public:
+        using iterator_category = std::input_iterator_tag;
+        using value_type = TxRecord;
+        using difference_type = std::ptrdiff_t;
+        using pointer = void;
+        using reference = TxRecord;
+
+        iterator() noexcept = default;
+        iterator(const PaymentView* view, std::size_t i) noexcept
+            : view_(view), i_(i) {}
+
+        TxRecord operator*() const noexcept { return (*view_)[i_]; }
+        iterator& operator++() noexcept {
+            ++i_;
+            return *this;
+        }
+        iterator operator++(int) noexcept {
+            iterator copy = *this;
+            ++i_;
+            return copy;
+        }
+        friend bool operator==(const iterator& a, const iterator& b) noexcept {
+            return a.i_ == b.i_;
+        }
+
+    private:
+        const PaymentView* view_ = nullptr;
+        std::size_t i_ = 0;
+    };
+
+    [[nodiscard]] iterator begin() const noexcept { return {this, 0}; }
+    [[nodiscard]] iterator end() const noexcept { return {this, count_}; }
+
+private:
+    const PaymentColumns* columns_ = nullptr;
+    std::size_t offset_ = 0;
+    std::size_t count_ = 0;
+};
+
+inline PaymentView PaymentColumns::view() const noexcept {
+    return PaymentView(*this, 0, size());
+}
+
+}  // namespace xrpl::ledger

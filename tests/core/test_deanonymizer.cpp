@@ -165,5 +165,66 @@ TEST(AttackIndexTest, MatchesAreRecordIndices) {
     EXPECT_GE(index.bucket_count(), 2u);
 }
 
+TEST(AttackIndexTest, ColumnarIndexMatchesRowIndex) {
+    std::vector<TxRecord> records;
+    for (int i = 0; i < 120; ++i) {
+        records.push_back(record("user" + std::to_string(i % 9),
+                                 "shop" + std::to_string(i % 4), "USD",
+                                 50.0 * (i % 6), i / 2));
+    }
+    const ledger::PaymentColumns columns =
+        ledger::PaymentColumns::from_records(records);
+
+    const AttackIndex row_index(records, full_resolution());
+    const AttackIndex col_index(columns, full_resolution());
+    EXPECT_EQ(row_index.bucket_count(), col_index.bucket_count());
+    for (std::size_t i = 0; i < records.size(); i += 7) {
+        EXPECT_EQ(row_index.matches(records[i]), col_index.matches(records[i]));
+        EXPECT_EQ(row_index.candidate_senders(records[i]),
+                  col_index.candidate_senders(records[i]));
+    }
+}
+
+TEST(AttackIndexTest, ViewIndexCoversOnlyThePrefix) {
+    std::vector<TxRecord> records = {
+        record("bob", "bar", "USD", 4.5, 1000),
+        record("alice", "cafe", "EUR", 7.0, 2000),
+    };
+    const ledger::PaymentColumns columns =
+        ledger::PaymentColumns::from_records(records);
+    const AttackIndex index(columns.view().prefix(1), full_resolution());
+    EXPECT_EQ(index.bucket_count(), 1u);
+    EXPECT_FALSE(index.matches(records[0]).empty());
+    EXPECT_TRUE(index.matches(records[1]).empty());
+}
+
+TEST(DeanonymizerTest, ColumnarConstructorsAgreeWithRows) {
+    std::vector<TxRecord> records = {
+        record("alice", "shop", "USD", 100.0, 10),
+        record("bob", "shop", "USD", 100.0, 10),
+        record("carol", "cafe", "USD", 500.0, 99),
+    };
+    const ledger::PaymentColumns columns =
+        ledger::PaymentColumns::from_records(records);
+
+    const Deanonymizer rows(records);
+    const Deanonymizer cols(columns);
+    const Deanonymizer window(columns.view().prefix(2));
+
+    const IgResult row_ig = rows.information_gain(full_resolution());
+    const IgResult col_ig = cols.information_gain(full_resolution());
+    EXPECT_EQ(row_ig.total_payments, col_ig.total_payments);
+    EXPECT_EQ(row_ig.uniquely_identified, col_ig.uniquely_identified);
+
+    // The two-payment window holds only the colliding pair.
+    const IgResult window_ig = window.information_gain(full_resolution());
+    EXPECT_EQ(window_ig.total_payments, 2u);
+    EXPECT_EQ(window_ig.uniquely_identified, 0u);
+
+    EXPECT_EQ(cols.history_of(AccountID::from_seed("carol")).size(), 1u);
+    EXPECT_EQ(cols.attack(records[2], full_resolution()),
+              rows.attack(records[2], full_resolution()));
+}
+
 }  // namespace
 }  // namespace xrpl::core

@@ -131,6 +131,48 @@ TEST(FingerprintTest, HashSpreadsOverDistinctRecords) {
     EXPECT_EQ(fingerprints.size(), static_cast<std::size_t>(n));
 }
 
+TEST(FingerprintTest, SingleFieldConfigsAreDomainSeparated) {
+    // Each field mixes under its own domain tag, so configurations
+    // that reduce to one field can never collide with each other by
+    // construction (pre-tag, a timestamp equal to a destination's
+    // hash word produced identical digests).
+    const TxRecord r = latte();
+    const ResolutionConfig amount_only{AmountResolution::kMax, std::nullopt,
+                                       false, false};
+    const ResolutionConfig time_only{std::nullopt, util::TimeResolution::kSeconds,
+                                     false, false};
+    const ResolutionConfig currency_only{std::nullopt, std::nullopt, true, false};
+    const ResolutionConfig dest_only{std::nullopt, std::nullopt, false, true};
+
+    const std::uint64_t fps[] = {
+        fingerprint(r, amount_only), fingerprint(r, time_only),
+        fingerprint(r, currency_only), fingerprint(r, dest_only)};
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = i + 1; j < 4; ++j) {
+            EXPECT_NE(fps[i], fps[j]) << "configs " << i << " and " << j;
+        }
+    }
+}
+
+TEST(FingerprintTest, PinnedValuesAreStable) {
+    // Regression pins for the domain-tagged fingerprint. These values
+    // must never change silently: the columnar path, the AttackIndex
+    // layout, and any serialized fingerprint all depend on them.
+    const TxRecord r = latte();
+    EXPECT_EQ(fingerprint(r, full_resolution()), 0xb97868eb462a80d9ULL);
+
+    ResolutionConfig coarse;
+    coarse.amount = AmountResolution::kLow;
+    coarse.time = util::TimeResolution::kDays;
+    coarse.use_currency = true;
+    coarse.use_destination = true;
+    EXPECT_EQ(fingerprint(r, coarse), 0xcc29fb40b41b9e4bULL);
+
+    ResolutionConfig no_time = full_resolution();
+    no_time.time.reset();
+    EXPECT_EQ(fingerprint(r, no_time), 0x911807b4029dd83bULL);
+}
+
 TEST(FingerprintHasherTest, MixOrderMatters) {
     FingerprintHasher a;
     a.mix(1);

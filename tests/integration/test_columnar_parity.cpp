@@ -1,0 +1,138 @@
+// Row vs columnar parity: every column-native overload must produce
+// bit-identical results to the legacy row path, because both feed the
+// same fingerprint mixing sequence. A generated history (interned
+// accounts, repeated hubs, spam campaigns, several currencies) is the
+// adversarial input here — any drift in rounding, truncation, or
+// domain tagging shows up as a count mismatch.
+#include <gtest/gtest.h>
+
+#include "core/anonymity.hpp"
+#include "core/deanonymizer.hpp"
+#include "core/ig_study.hpp"
+#include "core/mitigation.hpp"
+#include "datagen/history.hpp"
+
+namespace xrpl {
+namespace {
+
+datagen::GeneratorConfig parity_config() {
+    datagen::GeneratorConfig config;
+    config.seed = 4242;
+    config.num_users = 700;
+    config.num_gateways = 20;
+    config.num_market_makers = 30;
+    config.num_merchants = 100;
+    config.num_hubs = 10;
+    config.target_payments = 20'000;
+    return config;
+}
+
+class ColumnarParityTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        history_ = new datagen::GeneratedHistory(
+            datagen::generate_history(parity_config()));
+        records_ = new std::vector<ledger::TxRecord>(history_->to_records());
+    }
+    static void TearDownTestSuite() {
+        delete records_;
+        records_ = nullptr;
+        delete history_;
+        history_ = nullptr;
+    }
+    static datagen::GeneratedHistory* history_;
+    static std::vector<ledger::TxRecord>* records_;
+};
+
+datagen::GeneratedHistory* ColumnarParityTest::history_ = nullptr;
+std::vector<ledger::TxRecord>* ColumnarParityTest::records_ = nullptr;
+
+TEST_F(ColumnarParityTest, FingerprintColumnMatchesRowFingerprints) {
+    for (const core::ResolutionConfig& config : core::fig3_configurations()) {
+        const std::vector<std::uint64_t> fingerprints =
+            core::fingerprint_column(history_->payments.view(), config);
+        ASSERT_EQ(fingerprints.size(), records_->size());
+        // Spot-check across the whole history (every row would be slow
+        // times ten configurations).
+        for (std::size_t i = 0; i < records_->size(); i += 67) {
+            EXPECT_EQ(fingerprints[i], core::fingerprint((*records_)[i], config))
+                << "row " << i << " under " << config.label();
+        }
+    }
+}
+
+TEST_F(ColumnarParityTest, IgStudyIdenticalThroughBothPaths) {
+    const auto row_study = core::run_ig_study(*records_);
+    const auto col_study = core::run_ig_study(history_->payments);
+    ASSERT_EQ(row_study.size(), col_study.size());
+    for (std::size_t i = 0; i < row_study.size(); ++i) {
+        EXPECT_EQ(row_study[i].result.total_payments,
+                  col_study[i].result.total_payments)
+            << row_study[i].config.label();
+        EXPECT_EQ(row_study[i].result.uniquely_identified,
+                  col_study[i].result.uniquely_identified)
+            << row_study[i].config.label();
+    }
+}
+
+TEST_F(ColumnarParityTest, AnonymityProfileIdentical) {
+    for (const core::ResolutionConfig& config : core::fig3_configurations()) {
+        const core::AnonymityProfile rows =
+            core::analyze_anonymity(*records_, config);
+        const core::AnonymityProfile cols =
+            core::analyze_anonymity(history_->payments.view(), config);
+        EXPECT_EQ(rows.histogram(), cols.histogram()) << config.label();
+        EXPECT_EQ(rows.total_payments(), cols.total_payments());
+    }
+}
+
+TEST_F(ColumnarParityTest, AttackAndHistoryIdentical) {
+    const core::Deanonymizer row_path(*records_);
+    const core::Deanonymizer col_path(history_->payments);
+    const core::ResolutionConfig config = core::full_resolution();
+    for (std::size_t i = 0; i < records_->size(); i += 997) {
+        const ledger::TxRecord& observation = (*records_)[i];
+        EXPECT_EQ(row_path.attack(observation, config),
+                  col_path.attack(observation, config));
+        EXPECT_EQ(row_path.history_of(observation.sender).size(),
+                  col_path.history_of(observation.sender).size());
+    }
+}
+
+TEST_F(ColumnarParityTest, AttackIndexIdentical) {
+    const core::ResolutionConfig config = core::full_resolution();
+    const core::AttackIndex row_index(*records_, config);
+    const core::AttackIndex col_index(history_->payments, config);
+    EXPECT_EQ(row_index.bucket_count(), col_index.bucket_count());
+    for (std::size_t i = 0; i < records_->size(); i += 997) {
+        const ledger::TxRecord& observation = (*records_)[i];
+        EXPECT_EQ(row_index.matches(observation), col_index.matches(observation));
+        EXPECT_EQ(row_index.candidate_senders(observation),
+                  col_index.candidate_senders(observation));
+    }
+}
+
+TEST_F(ColumnarParityTest, MitigationReportIdentical) {
+    const auto trustlines_of = [&](const ledger::AccountID& owner) {
+        return history_->ledger.lines_of(owner).size();
+    };
+    core::WalletRotationConfig config;
+    config.wallets_per_sender = 3;
+    const core::ResolutionConfig resolution = core::full_resolution();
+
+    const core::MitigationReport rows = core::evaluate_wallet_rotation(
+        *records_, resolution, config, trustlines_of);
+    const core::MitigationReport cols = core::evaluate_wallet_rotation(
+        history_->payments, resolution, config, trustlines_of);
+
+    EXPECT_EQ(rows.baseline.uniquely_identified, cols.baseline.uniquely_identified);
+    EXPECT_EQ(rows.rotated.uniquely_identified, cols.rotated.uniquely_identified);
+    EXPECT_EQ(rows.linked.uniquely_identified, cols.linked.uniquely_identified);
+    EXPECT_EQ(rows.baseline.total_payments, cols.baseline.total_payments);
+    EXPECT_EQ(rows.wallets_created, cols.wallets_created);
+    EXPECT_EQ(rows.trustlines_created, cols.trustlines_created);
+    EXPECT_DOUBLE_EQ(rows.xrp_reserve_cost, cols.xrp_reserve_cost);
+}
+
+}  // namespace
+}  // namespace xrpl

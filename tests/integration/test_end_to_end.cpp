@@ -45,7 +45,7 @@ protected:
 datagen::GeneratedHistory* EndToEndTest::history_ = nullptr;
 
 TEST_F(EndToEndTest, FigureThreeShapeHolds) {
-    const auto rows = core::run_ig_study(history_->records);
+    const auto rows = core::run_ig_study(history_->payments);
     ASSERT_EQ(rows.size(), 10u);
     const auto ig = [&](std::size_t i) { return rows[i].result.information_gain(); };
 
@@ -67,18 +67,19 @@ TEST_F(EndToEndTest, FigureThreeShapeHolds) {
 
 TEST_F(EndToEndTest, LatteAttackRecoversAVictim) {
     // Find some real retail payment and replay the bar scenario on it.
-    const core::Deanonymizer deanonymizer(history_->records);
+    const core::Deanonymizer deanonymizer(history_->payments);
     const core::ResolutionConfig config = core::full_resolution();
     std::size_t attacks = 0;
     std::size_t unique_hits = 0;
-    for (std::size_t i = 0; i < history_->records.size() && attacks < 200;
+    for (std::size_t i = 0; i < history_->payments.size() && attacks < 200;
          i += 31) {
-        const auto candidates = deanonymizer.attack(history_->records[i], config);
+        const ledger::TxRecord observed = history_->payments.row(i);
+        const auto candidates = deanonymizer.attack(observed, config);
         ASSERT_FALSE(candidates.empty());
         ++attacks;
         if (candidates.size() == 1) {
             ++unique_hits;
-            EXPECT_EQ(candidates[0], history_->records[i].sender);
+            EXPECT_EQ(candidates[0], observed.sender);
             // "Complete and unlimited access" to the victim's history.
             const auto life = deanonymizer.history_of(candidates[0]);
             EXPECT_FALSE(life.empty());
