@@ -8,14 +8,14 @@
 
 #include "consensus/period_config.hpp"
 #include "consensus/rpca.hpp"
-#include "node/node.hpp"
-#include "paths/widest_path.hpp"
 #include "core/deanonymizer.hpp"
 #include "core/ig_study.hpp"
 #include "ledger/amount.hpp"
 #include "ledger/payment_columns.hpp"
+#include "node/node.hpp"
 #include "paths/path_finder.hpp"
 #include "paths/payment_engine.hpp"
+#include "paths/widest_path.hpp"
 #include "util/base58.hpp"
 #include "util/rng.hpp"
 #include "util/sha256.hpp"

@@ -5,7 +5,9 @@
 //   export_history analyze <path>               load + run the IG study
 //
 // With no arguments it does both against a temporary file.
+#include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -56,8 +58,18 @@ int analyze(const std::string& path) {
 
 int main(int argc, char** argv) {
     if (argc >= 3 && std::string(argv[1]) == "generate") {
-        const std::uint64_t payments =
-            argc >= 4 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 100'000;
+        std::uint64_t payments = 100'000;
+        if (argc >= 4) {
+            // Strict parse: the whole argument must be a positive
+            // integer (atoll would silently accept "25k" as 25).
+            const char* end = argv[3] + std::strlen(argv[3]);
+            const auto [ptr, ec] = std::from_chars(argv[3], end, payments);
+            if (ec != std::errc{} || ptr != end || payments == 0) {
+                std::cerr << "bad payment count '" << argv[3]
+                          << "' (expected a positive integer)\n";
+                return 2;
+            }
+        }
         return generate(argv[2], payments);
     }
     if (argc >= 3 && std::string(argv[1]) == "analyze") {

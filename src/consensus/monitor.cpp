@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/contract.hpp"
+
 namespace xrpl::consensus {
 
 ValidationMonitor::ValidationMonitor(const std::vector<Validator>& validators,
@@ -33,7 +35,14 @@ void ValidationMonitor::on_page(const PageClosed& event) {
     const auto it = pending_.find(event.page_hash);
     if (it == pending_.end()) return;
     for (const std::uint32_t index : it->second) {
-        if (index < counters_.size()) ++counters_[index].valid;
+        if (index < counters_.size()) {
+            ++counters_[index].valid;
+            // Fig 2 plots valid/total per validator; a valid count
+            // overtaking its total means a signature was credited to a
+            // page the validator never signed.
+            XRPL_INVARIANT(counters_[index].valid <= counters_[index].total,
+                           "valid pages are a subset of signed pages");
+        }
     }
     pending_.erase(it);
 }
@@ -45,6 +54,11 @@ void ValidationMonitor::prune(std::uint64_t current_round) {
         pending_.erase(expiry_.front().second);
         expiry_.pop_front();
     }
+    // Every pending page hash is tracked by exactly one expiry entry
+    // (try_emplace inserts the pair atomically); a skew would leak
+    // signatures past the window.
+    XRPL_INVARIANT(pending_.size() <= expiry_.size(),
+                   "every pending page must carry an expiry entry");
 }
 
 std::vector<ValidatorReport> ValidationMonitor::report() const {

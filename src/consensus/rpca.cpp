@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/contract.hpp"
 #include "util/sha256.hpp"
 
 namespace xrpl::consensus {
@@ -66,8 +67,23 @@ RoundOutcome ConsensusSimulation::run_round(std::uint64_t round,
         rng_ = util::Rng(config_.seed);
         rng_seeded_ = true;
     }
+    // A round number reused (or run backwards) would let one validator
+    // validate two different pages at the same sequence — exactly the
+    // conflicting-validation fault the protocol's safety argument
+    // excludes. One run_round() call per round keeps signatures unique
+    // per (validator, sequence).
+    XRPL_ASSERT(round > last_round_,
+                "rounds must increase monotonically across run_round calls");
+    last_round_ = round;
+    // 0.8 is the post-2015 value the paper cites; anything outside
+    // (0, 1] is not a vote fraction at all. (The pre-2015 0.5 ablation
+    // in micro_benchmarks stays legal.)
+    XRPL_ASSERT(config_.quorum > 0.0 && config_.quorum <= 1.0,
+                "quorum must be a fraction of the UNL in (0, 1]");
     const auto quorum_votes = static_cast<std::size_t>(
         std::ceil(config_.quorum * static_cast<double>(unl_size_)));
+    XRPL_INVARIANT(quorum_votes <= unl_size_,
+                   "required votes cannot exceed the UNL size");
 
     // Candidate pages this round. Their hashes depend on the entire
     // history below them, via the parent-hash chain.
@@ -110,6 +126,8 @@ RoundOutcome ConsensusSimulation::run_round(std::uint64_t round,
 
     RoundOutcome outcome;
     ++cumulative_.rounds;
+    XRPL_INVARIANT(unl_candidate_votes <= unl_size_,
+                   "candidate votes are a subset of the UNL");
 
     // Main chain quorum check.
     if (unl_candidate_votes >= quorum_votes && unl_size_ > 0) {

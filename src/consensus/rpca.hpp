@@ -89,6 +89,10 @@ private:
     util::Rng rng_{0};
     bool rng_seeded_ = false;
     ConsensusStats cumulative_;
+    // Last round run_round() saw; enforces its monotonicity contract
+    // (one candidate per round, so no validator can sign twice for the
+    // same sequence number).
+    std::uint64_t last_round_ = 0;
 };
 
 }  // namespace xrpl::consensus

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "util/contract.hpp"
+
 namespace xrpl::core {
 
 namespace {
@@ -69,6 +71,13 @@ IgResult Deanonymizer::information_gain_columns(
     for (const std::uint64_t fp : fingerprints) {
         if (!buckets.at(fp).multi) ++result.uniquely_identified;
     }
+    // IG is a probability (Fig 3 plots it in [0, 1]): the uniquely
+    // identified payments are a subset of all payments, and there are
+    // at most as many fingerprint buckets as payments.
+    XRPL_INVARIANT(result.uniquely_identified <= result.total_payments,
+                   "IG numerator must be a subset of the payment count");
+    XRPL_INVARIANT(buckets.size() <= result.total_payments,
+                   "fingerprint buckets cannot outnumber payments");
     return result;
 }
 
@@ -147,6 +156,21 @@ AttackIndex::AttackIndex(ledger::PaymentView view, ResolutionConfig config)
     for (std::uint32_t i = 0; i < fingerprints.size(); ++i) {
         index_[fingerprints[i]].push_back(i);
     }
+#if XRPL_CONTRACTS_ENABLED
+    // Bucket consistency: the buckets partition the record range —
+    // every record indexed exactly once, every stored index in range.
+    // O(n) sweep, so contract builds only.
+    std::size_t indexed = 0;
+    for (const auto& [fp, rows] : index_) {
+        indexed += rows.size();
+        for (const std::uint32_t row : rows) {
+            XRPL_INVARIANT(row < fingerprints.size(),
+                           "attack-index buckets must reference real records");
+        }
+    }
+    XRPL_INVARIANT(indexed == fingerprints.size(),
+                   "attack-index buckets must partition the record range");
+#endif
 }
 
 const ledger::AccountID& AttackIndex::sender_of(std::uint32_t i) const noexcept {

@@ -2,6 +2,7 @@
 
 #include "core/resolution.hpp"
 #include "ledger/types.hpp"
+#include "util/contract.hpp"
 #include "util/ripple_time.hpp"
 
 namespace xrpl::core {
@@ -88,6 +89,12 @@ std::vector<std::uint64_t> fingerprint_column(const ledger::PaymentView& view,
     std::vector<std::uint64_t> fingerprints(n);
     if (n == 0) return fingerprints;
 
+    // The view's window and every interned id it dereferences must lie
+    // inside the backing store; the per-row loop below indexes columns
+    // and dictionary tables unchecked on that strength.
+    XRPL_ASSERT(offset + n <= columns.size(),
+                "payment view window must lie inside its columns");
+
     // Destination hash words: fold each distinct account once instead
     // of re-folding 20 bytes per payment.
     std::vector<std::uint64_t> dest_words;
@@ -115,6 +122,10 @@ std::vector<std::uint64_t> fingerprint_column(const ledger::PaymentView& view,
 
     for (std::size_t i = 0; i < n; ++i) {
         const std::size_t r = offset + i;
+        XRPL_ASSERT(columns.currency_id[r] < currency_context.size() &&
+                        (!config.use_destination ||
+                         columns.dest_id[r] < dest_words.size()),
+                    "interned column ids must resolve in their dictionaries");
         FingerprintHasher hasher;
         if (config.amount) {
             const ledger::IouAmount amount = ledger::IouAmount::from_mantissa_exponent(

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <optional>
 
+#include "util/contract.hpp"
+
 namespace xrpl::datagen {
 
 using ledger::Amount;
@@ -60,6 +62,22 @@ GeneratedHistory generate_history(const GeneratorConfig& config) {
         ++history.pages;
     }
     history.last_close = clock;
+
+    XRPL_INVARIANT(history.payments.size() >= config.target_payments,
+                   "generation must run until the payment target is met");
+    XRPL_INVARIANT(history.first_close.seconds <= history.last_close.seconds,
+                   "page close times must advance monotonically");
+#if XRPL_CONTRACTS_ENABLED
+    // Every payment lands in exactly one §IV traffic category, so the
+    // category counts must re-sum to the history size (the per-figure
+    // benches normalize by these counts).
+    std::size_t categorized = 0;
+    for (const std::uint64_t count : history.category_counts) {
+        categorized += count;
+    }
+    XRPL_INVARIANT(categorized == history.payments.size(),
+                   "traffic categories must partition the payment history");
+#endif
 
     history.workload_stats = workload.stats();
     history.offer_placements = workload.offer_placements();

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "util/contract.hpp"
+
 namespace xrpl::ledger {
 
 namespace {
@@ -66,6 +68,14 @@ IouAmount IouAmount::from_mantissa_exponent(std::int64_t mantissa,
     out.mantissa_ = negative ? -static_cast<std::int64_t>(mag)
                              : static_cast<std::int64_t>(mag);
     out.exponent_ = exponent;
+    // STAmount canonical form: every nonzero amount leaves here with a
+    // 16-digit mantissa and an in-range exponent. Table I rounding and
+    // the fingerprint mantissa/exponent split both assume it.
+    XRPL_INVARIANT(mag >= static_cast<std::uint64_t>(kMinMantissa) &&
+                       mag <= static_cast<std::uint64_t>(kMaxMantissa),
+                   "normalized IOU mantissa must lie in [1e15, 1e16)");
+    XRPL_INVARIANT(exponent >= kMinExponent && exponent <= kMaxExponent,
+                   "normalized IOU exponent must lie in [-96, 80]");
     return out;
 }
 
@@ -114,6 +124,7 @@ IouAmount IouAmount::round_to_power_of_ten(int power) const noexcept {
 
     const bool negative = mantissa_ < 0;
     const std::int64_t mag = negative ? -mantissa_ : mantissa_;
+    XRPL_ASSERT(k < 19, "rounding distance must stay within the pow-10 table");
     const std::int64_t unit = kPow10[k];
     std::int64_t q = mag / unit;
     const std::int64_t r = mag % unit;
@@ -187,8 +198,14 @@ std::string IouAmount::to_string() const {
         body.push_back(digits[0]);
         std::string frac = digits.substr(1);
         while (!frac.empty() && frac.back() == '0') frac.pop_back();
-        if (!frac.empty()) body += "." + frac;
-        body += "e" + std::to_string(point - 1);
+        // Appended piecewise: `"." + frac` trips GCC 12's -Wrestrict
+        // false positive (PR 105329) when inlined into operator+=.
+        if (!frac.empty()) {
+            body.push_back('.');
+            body.append(frac);
+        }
+        body.push_back('e');
+        body.append(std::to_string(point - 1));
     } else if (point <= 0) {
         body = "0." + std::string(static_cast<std::size_t>(-point), '0') + digits;
         while (body.back() == '0') body.pop_back();

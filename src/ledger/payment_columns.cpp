@@ -3,9 +3,14 @@
 namespace xrpl::ledger {
 
 std::uint32_t AccountInterner::intern(const AccountID& id) {
+    XRPL_ASSERT(ids_.size() < UINT32_MAX,
+                "account dictionary must fit 32-bit ids");
     const auto [it, inserted] =
         index_.try_emplace(id, static_cast<std::uint32_t>(ids_.size()));
     if (inserted) ids_.push_back(id);
+    // table<->map bijection: every dense id names exactly one account.
+    XRPL_INVARIANT(ids_.size() == index_.size(),
+                   "interner table and index must stay in bijection");
     return it->second;
 }
 
@@ -16,9 +21,15 @@ std::optional<std::uint32_t> AccountInterner::find(const AccountID& id) const {
 }
 
 std::uint16_t CurrencyInterner::intern(const Currency& currency) {
+    // The u16 id column caps the dictionary; past 65535 distinct
+    // currencies the cast below would silently alias ids.
+    XRPL_ASSERT(currencies_.size() <= UINT16_MAX,
+                "currency dictionary must fit 16-bit ids");
     const auto [it, inserted] =
         index_.try_emplace(currency, static_cast<std::uint16_t>(currencies_.size()));
     if (inserted) currencies_.push_back(currency);
+    XRPL_INVARIANT(currencies_.size() == index_.size(),
+                   "interner table and index must stay in bijection");
     return it->second;
 }
 
@@ -46,9 +57,18 @@ void PaymentColumns::push_back(const TxRecord& record) {
     // IouAmount exponents live in [-96, 80]: int8_t holds them exactly.
     amount_exponent.push_back(static_cast<std::int8_t>(record.amount.exponent()));
     time_seconds.push_back(record.time.seconds);
+    // All six columns describe the same rows; a length skew means some
+    // column silently dropped or duplicated a payment.
+    XRPL_INVARIANT(dest_id.size() == sender_id.size() &&
+                       currency_id.size() == sender_id.size() &&
+                       amount_mantissa.size() == sender_id.size() &&
+                       amount_exponent.size() == sender_id.size() &&
+                       time_seconds.size() == sender_id.size(),
+                   "payment columns must stay equal length");
 }
 
 TxRecord PaymentColumns::row(std::size_t i) const noexcept {
+    XRPL_ASSERT(i < size(), "row index must be within the store");
     TxRecord record;
     record.sender = accounts.at(sender_id[i]);
     record.destination = accounts.at(dest_id[i]);

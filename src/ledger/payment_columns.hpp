@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "ledger/transaction.hpp"
+#include "util/contract.hpp"
 
 namespace xrpl::ledger {
 
@@ -42,6 +43,8 @@ public:
     [[nodiscard]] std::optional<std::uint32_t> find(const AccountID& id) const;
 
     [[nodiscard]] const AccountID& at(std::uint32_t index) const noexcept {
+        XRPL_ASSERT(index < ids_.size(),
+                    "account id must come from this interner");
         return ids_[index];
     }
     [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
@@ -59,6 +62,8 @@ public:
     [[nodiscard]] std::optional<std::uint16_t> find(const Currency& currency) const;
 
     [[nodiscard]] const Currency& at(std::uint16_t index) const noexcept {
+        XRPL_ASSERT(index < currencies_.size(),
+                    "currency id must come from this interner");
         return currencies_[index];
     }
     [[nodiscard]] std::size_t size() const noexcept { return currencies_.size(); }

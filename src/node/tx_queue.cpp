@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/contract.hpp"
+
 namespace xrpl::node {
 
 TransactionQueue::SubmitResult TransactionQueue::submit(
@@ -12,6 +14,11 @@ TransactionQueue::SubmitResult TransactionQueue::submit(
 
     per_account_[tx.sender].push_back(Entry{tx, fee, arrivals_++});
     ++size_;
+    // size_ is the sum of per-account queue lengths, and pending_ids_
+    // holds exactly the queued transaction ids; a skew double-admits
+    // or loses transactions across submit/next_batch/requeue.
+    XRPL_INVARIANT(size_ == pending_ids_.size(),
+                   "queue size must match the pending-id set");
     return SubmitResult::kQueued;
 }
 
@@ -35,12 +42,28 @@ std::vector<ledger::Transaction> TransactionQueue::next_batch(std::size_t n) {
         }
         if (best_queue == nullptr) break;
 
+#if XRPL_CONTRACTS_ENABLED
+        // The fee-ordering contract of §III-A's anti-spam economics:
+        // the entry released is the highest-fee head (a requeued entry
+        // carries an infinite fee, so candidates always re-release
+        // first). Re-derives the selection, so contract builds only.
+        for (const auto& [account, entries] : per_account_) {
+            XRPL_INVARIANT(entries.empty() || entries.front().fee.drops <=
+                                                  best_queue->front().fee.drops,
+                           "released entry must be the highest-fee head");
+        }
+#endif
         Entry entry = std::move(best_queue->front());
         best_queue->pop_front();
         --size_;
-        pending_ids_.erase(entry.tx.id());
+        [[maybe_unused]] const std::size_t erased =
+            pending_ids_.erase(entry.tx.id());
+        XRPL_INVARIANT(erased == 1,
+                       "every released entry must have been tracked as pending");
         batch.push_back(std::move(entry.tx));
     }
+    XRPL_INVARIANT(size_ == pending_ids_.size(),
+                   "queue size must match the pending-id set");
     return batch;
 }
 
@@ -55,6 +78,8 @@ void TransactionQueue::requeue(const std::vector<ledger::Transaction>& batch) {
             Entry{*it, ledger::XrpAmount{INT64_MAX}, arrivals_++});
         ++size_;
     }
+    XRPL_INVARIANT(size_ == pending_ids_.size(),
+                   "queue size must match the pending-id set");
 }
 
 }  // namespace xrpl::node

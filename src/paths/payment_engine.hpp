@@ -21,8 +21,8 @@
 #include "ledger/transaction.hpp"
 #include "paths/order_book.hpp"
 #include "paths/path_finder.hpp"
-#include "paths/widest_path.hpp"
 #include "paths/trust_graph.hpp"
+#include "paths/widest_path.hpp"
 
 namespace xrpl::paths {
 

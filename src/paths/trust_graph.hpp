@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "ledger/ledger.hpp"
+#include "util/contract.hpp"
 
 namespace xrpl::paths {
 
@@ -42,6 +43,11 @@ public:
         for (const ledger::TrustLine* line : ledger_->lines_of(from)) {
             if (line->key().currency != currency) continue;
             const ledger::AccountID& peer = line->peer_of(from);
+            // lines_of(a) must only return lines with `a` as one of two
+            // DISTINCT endpoints; a self-loop would let the path finder
+            // "ripple" value without moving it.
+            XRPL_ASSERT(!(peer == from),
+                        "trust lines must connect two distinct accounts");
             if (is_excluded(peer)) continue;
             if (line->capacity_from(from).is_zero() ||
                 line->capacity_from(from).is_negative()) {

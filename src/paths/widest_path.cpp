@@ -4,6 +4,8 @@
 #include <queue>
 #include <unordered_map>
 
+#include "util/contract.hpp"
+
 namespace xrpl::paths {
 
 namespace {
@@ -70,6 +72,11 @@ std::optional<TrustPath> WidestPathFinder::find(const TrustGraph& graph,
                 if (peer_root == nullptr) return;
                 if (!peer_root->allows_rippling && !(peer == to)) return;
                 const IouAmount edge = line->capacity_from(node);
+                // TrustGraph::for_each_neighbor filters non-positive
+                // capacities; a negative edge here means the filter and
+                // this relaxation disagree about direction.
+                XRPL_ASSERT(!edge.is_negative(),
+                            "trust graph must only offer positive-capacity edges");
                 const IouAmount bottleneck =
                     edge < label.best ? edge : label.best;
                 if (bottleneck.is_zero() || bottleneck.is_negative()) return;
@@ -100,6 +107,12 @@ std::optional<TrustPath> WidestPathFinder::find(const TrustGraph& graph,
     std::reverse(path.nodes.begin(), path.nodes.end());
     if (path.nodes.front() != from || path.nodes.back() != to) return std::nullopt;
     if (path.nodes.size() - 2 > config_.max_intermediate_hops) return std::nullopt;
+    // A settled destination label is the min over positive edge
+    // capacities along the path — the capacity the payment engine will
+    // try to move. Zero or negative would send nothing (or reverse a
+    // trust balance).
+    XRPL_INVARIANT(!path.capacity.is_zero() && !path.capacity.is_negative(),
+                   "widest-path bottleneck capacity must be positive");
     return path;
 }
 

@@ -1,0 +1,19 @@
+#include "util/contract.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xrpl::util {
+
+void contract_violation(const char* kind, const char* condition,
+                        const char* message, const char* file,
+                        long line) noexcept {
+    // fprintf, not iostreams: this must work mid-crash, with no
+    // allocation and no interleaving with half-flushed cout state.
+    std::fprintf(stderr, "%s:%ld: contract %s failed: %s — %s\n", file, line,
+                 kind, condition, message);
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace xrpl::util

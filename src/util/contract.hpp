@@ -1,0 +1,76 @@
+// Contract macros — the repo's assertion vocabulary.
+//
+// Three kinds, mirroring the taxonomy rippled's own instrumentation
+// converged on:
+//
+//   XRPL_ASSERT(cond, msg)     precondition / argument check at an API
+//                              boundary ("the caller gave us sane input").
+//   XRPL_INVARIANT(cond, msg)  internal data-structure or paper-level
+//                              invariant ("our own state is consistent").
+//   XRPL_UNREACHABLE(msg)      control flow that must never execute.
+//
+// Contracts are ACTIVE when NDEBUG is not defined (Debug builds) or
+// when XRPL_ENABLE_CONTRACTS is defined (the CMake option of the same
+// name — the sanitizer presets turn it on so ASan/UBSan runs also
+// check logical invariants). A violation prints the condition, the
+// message, and the source location to stderr, then aborts — abort()
+// rather than throw so sanitizers and GTest death tests both see a
+// genuine crash and no stack unwinds past a corrupted invariant.
+//
+// In Release, XRPL_ASSERT / XRPL_INVARIANT expand to a no-op that
+// type-checks the condition in an UNEVALUATED context (zero cost even
+// at -O0, and variables used only in contracts don't trip
+// -Wunused-variable). Deliberately NOT [[assume]]/__builtin_assume:
+// promising the optimizer a condition that a bug has falsified would
+// turn a detectable failure into silent miscompilation of the very
+// figures the contracts protect. XRPL_UNREACHABLE is the exception —
+// "this path never runs" is exactly what __builtin_unreachable()
+// expresses, so Release keeps it as the optimizer hint.
+//
+// XRPL_CONTRACTS_ENABLED (0/1) is exposed for tests and for guarding
+// expensive O(n) consistency sweeps that are too slow even for Debug
+// hot loops.
+#pragma once
+
+namespace xrpl::util {
+
+/// Reports a contract violation and aborts. `kind` is "assertion",
+/// "invariant", or "unreachable"; `condition` is the stringized
+/// expression. Never returns.
+[[noreturn]] void contract_violation(const char* kind, const char* condition,
+                                     const char* message, const char* file,
+                                     long line) noexcept;
+
+}  // namespace xrpl::util
+
+#if !defined(NDEBUG) || defined(XRPL_ENABLE_CONTRACTS)
+#define XRPL_CONTRACTS_ENABLED 1
+#else
+#define XRPL_CONTRACTS_ENABLED 0
+#endif
+
+#if XRPL_CONTRACTS_ENABLED
+
+#define XRPL_ASSERT(cond, msg)                                              \
+    ((cond) ? static_cast<void>(0)                                          \
+            : ::xrpl::util::contract_violation("assertion", #cond, (msg),   \
+                                               __FILE__, __LINE__))
+#define XRPL_INVARIANT(cond, msg)                                           \
+    ((cond) ? static_cast<void>(0)                                          \
+            : ::xrpl::util::contract_violation("invariant", #cond, (msg),   \
+                                               __FILE__, __LINE__))
+#define XRPL_UNREACHABLE(msg)                                               \
+    ::xrpl::util::contract_violation("unreachable", "reached", (msg),       \
+                                     __FILE__, __LINE__)
+
+#else
+
+// sizeof keeps the condition compiled (typos still fail the build)
+// without ever evaluating it.
+#define XRPL_ASSERT(cond, msg) \
+    static_cast<void>(sizeof(static_cast<void>(cond), 0))
+#define XRPL_INVARIANT(cond, msg) \
+    static_cast<void>(sizeof(static_cast<void>(cond), 0))
+#define XRPL_UNREACHABLE(msg) __builtin_unreachable()
+
+#endif

@@ -1,0 +1,6 @@
+// Lint fixture: atoi-family parsing. Must trigger [no-naked-atoi].
+#include <cstdlib>
+
+long parse_count(const char* text) {
+    return atoll(text);
+}

@@ -1,0 +1,16 @@
+// Lint fixture: a fingerprint fold whose first mix() carries no field
+// domain tag — two feature subsets could collide structurally. Must
+// trigger [fingerprint-domain].
+#include <cstdint>
+
+struct Hasher {
+    std::uint64_t state = 0;
+    void mix(std::uint64_t value) { state ^= value * 0x9e3779b97f4a7c15ULL; }
+};
+
+std::uint64_t untagged_fold(std::uint64_t mantissa, std::uint64_t exponent) {
+    Hasher hasher;
+    hasher.mix(mantissa);
+    hasher.mix(exponent);
+    return hasher.state;
+}

@@ -1,0 +1,8 @@
+// Lint fixture: a header with no include guard that also dumps a
+// namespace on every includer. Must trigger [pragma-once] and
+// [no-using-namespace].
+#include <vector>
+
+using namespace std;
+
+inline vector<int> empty_vector() { return {}; }

@@ -1,0 +1,8 @@
+// Lint fixture: directory-climbing include plus an unsorted include
+// block. Must trigger [include-order].
+#include "../fixtures/good.cpp"
+
+#include <vector>
+#include <cstdint>
+
+int count_items() { return 0; }

@@ -1,0 +1,7 @@
+// Lint fixture: naked rand() outside util/rng. Must trigger [no-rand].
+#include <cstdlib>
+
+int roll_die() {
+    // std::rand() mentioned in a comment must NOT trigger.
+    return std::rand() % 6 + 1;
+}

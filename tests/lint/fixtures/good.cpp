@@ -1,0 +1,24 @@
+// Lint fixture: a clean file — the linter must report nothing here.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+constexpr std::uint64_t kExampleDomain = 0x1234;
+
+struct Hasher {
+    std::uint64_t state = 0;
+    void mix(std::uint64_t value) { state ^= value; }
+};
+
+inline std::uint64_t tagged_fold(std::uint64_t mantissa,
+                                 std::uint64_t exponent) {
+    Hasher hasher;
+    hasher.mix(mantissa ^ kExampleDomain);
+    hasher.mix(exponent);
+    return hasher.state;
+}
+
+inline std::vector<int> empty_vector() { return {}; }
+
+}  // namespace fixture

@@ -1,0 +1,62 @@
+// Contract macro semantics (DESIGN.md §10).
+//
+// Contract-enabled builds (Debug, or -DXRPL_ENABLE_CONTRACTS=ON —
+// the sanitizer presets) must die with a diagnostic on violation;
+// Release builds must expand to true no-ops whose condition is never
+// evaluated. Both halves compile from this one file — the #if picks
+// which half runs, so every build mode verifies its own behavior.
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#if XRPL_CONTRACTS_ENABLED
+
+TEST(ContractDeathTest, AssertViolationAbortsWithDiagnostic) {
+    EXPECT_DEATH(XRPL_ASSERT(1 + 1 == 3, "arithmetic must work"),
+                 "contract assertion failed: 1 \\+ 1 == 3 — arithmetic must work");
+}
+
+TEST(ContractDeathTest, InvariantViolationAbortsWithDiagnostic) {
+    EXPECT_DEATH(XRPL_INVARIANT(false, "state must be consistent"),
+                 "contract invariant failed: false — state must be consistent");
+}
+
+TEST(ContractDeathTest, UnreachableAbortsWithDiagnostic) {
+    EXPECT_DEATH(XRPL_UNREACHABLE("this path must never run"),
+                 "contract unreachable failed: reached — this path must never run");
+}
+
+TEST(ContractTest, PassingContractsEvaluateTheConditionOnce) {
+    int evaluations = 0;
+    XRPL_ASSERT(++evaluations > 0, "side effect runs in contract builds");
+    EXPECT_EQ(evaluations, 1);
+    XRPL_INVARIANT(++evaluations > 0, "side effect runs in contract builds");
+    EXPECT_EQ(evaluations, 2);
+}
+
+TEST(ContractTest, DiagnosticNamesTheSourceLocation) {
+    EXPECT_DEATH(XRPL_ASSERT(false, "location check"), "test_contract\\.cpp");
+}
+
+#else  // Release: contracts are no-ops.
+
+TEST(ContractTest, ReleaseAssertNeverEvaluatesTheCondition) {
+    int evaluations = 0;
+    XRPL_ASSERT(++evaluations > 0, "must not run");
+    XRPL_INVARIANT(++evaluations > 0, "must not run");
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractTest, ReleaseAssertIgnoresFalseConditions) {
+    // A violated contract in Release is simply not checked — no abort,
+    // no evaluation, no [[assume]]-style UB license (see contract.hpp).
+    XRPL_ASSERT(false, "not checked in Release");
+    XRPL_INVARIANT(false, "not checked in Release");
+    SUCCEED();
+}
+
+#endif
+
+}  // namespace

@@ -1,0 +1,317 @@
+#!/usr/bin/env python3
+"""Repo-specific linter — rules the compiler can't enforce.
+
+Stdlib-only; runs as a ctest test (`lint.tree`, `lint.selftest`), via
+`cmake --build build --target lint`, and from tools/tier1.sh.
+
+Rules (rule ids in brackets):
+
+  [no-rand]             rand()/std::rand() anywhere outside src/util/rng.*
+                        — all randomness flows through util::Rng so every
+                        figure is reproducible from a seed.
+  [no-naked-atoi]       atoi/atol/atoll — they ignore trailing garbage and
+                        saturate silently; use std::from_chars (see
+                        bench::env_u64, the PR-1 lesson).
+  [fingerprint-domain]  the first FingerprintHasher::mix() of each fold
+                        group must carry a field domain tag (a `k*Domain`
+                        constant or a precomputed `*word*` table) so
+                        feature subsets can never collide structurally.
+  [pragma-once]         every header carries #pragma once.
+  [no-using-namespace]  headers must not `using namespace` (it leaks into
+                        every includer).
+  [include-order]       quoted includes are project-relative (resolve
+                        against src/ or the including file's directory,
+                        never "../"); project headers are never included
+                        with <>; src/*.cpp include their own header first;
+                        each contiguous include run is one style and
+                        lexicographically sorted.
+
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCAN_ROOTS = ("src", "tests", "bench", "examples")
+FIXTURES = REPO / "tests" / "lint" / "fixtures"
+HEADER_SUFFIXES = {".hpp", ".h"}
+SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
+
+RAND_RE = re.compile(r"(?<![\w:.])(?:std::)?rand\s*\(")
+ATOI_RE = re.compile(r"(?<![\w:.])(?:std::)?(?:atoi|atol|atoll)\s*\(")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
+MIX_RE = re.compile(r"\.\s*mix\s*\(")
+DOMAIN_TAG_RE = re.compile(r"k\w*Domain\b|word")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        rel = self.path.relative_to(REPO) if self.path.is_absolute() else self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so content rules don't fire on prose or test data."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+            elif c == "'":
+                state = "char"
+                out.append(c)
+            else:
+                out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated (macro line continuation etc.)
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def check_content_rules(path, lines, in_src):
+    rng_exempt = path.name in ("rng.hpp", "rng.cpp") and "util" in path.parts
+    for lineno, line in enumerate(lines, 1):
+        if not rng_exempt and RAND_RE.search(line):
+            yield Violation(path, lineno, "no-rand",
+                            "rand() outside util/rng — use util::Rng so "
+                            "results stay seed-reproducible")
+        if ATOI_RE.search(line):
+            yield Violation(path, lineno, "no-naked-atoi",
+                            "atoi-family parse — use std::from_chars with "
+                            "full-string validation (cf. bench::env_u64)")
+    if path.suffix in HEADER_SUFFIXES:
+        for lineno, line in enumerate(lines, 1):
+            if USING_NAMESPACE_RE.search(line):
+                yield Violation(path, lineno, "no-using-namespace",
+                                "`using namespace` in a header leaks into "
+                                "every includer")
+    if in_src:
+        yield from check_fingerprint_domains(path, lines)
+
+
+def check_fingerprint_domains(path, lines):
+    """Each contiguous run of mix() statements is one field fold; its
+    FIRST statement must reference a domain tag (k*Domain) or a
+    precomputed tagged word table (*word*)."""
+    prev_end = None  # last line (0-based) of the previous mix statement
+    i = 0
+    while i < len(lines):
+        if MIX_RE.search(lines[i]):
+            # The statement runs to the terminating ';'.
+            end = i
+            statement = lines[i]
+            while ";" not in statement and end + 1 < len(lines) and end - i < 4:
+                end += 1
+                statement += lines[end]
+            new_group = True
+            if prev_end is not None:
+                between = lines[prev_end + 1:i]
+                new_group = any(l.strip() for l in between)
+            if new_group and not DOMAIN_TAG_RE.search(statement):
+                yield Violation(path, i + 1, "fingerprint-domain",
+                                "first mix() of a fold group carries no "
+                                "field domain tag (k*Domain / tagged word "
+                                "table)")
+            prev_end = end
+            i = end + 1
+            continue
+        i += 1
+
+
+def check_header_rules(path, raw_text):
+    if path.suffix not in HEADER_SUFFIXES:
+        return
+    if "#pragma once" not in raw_text:
+        yield Violation(path, 1, "pragma-once", "header lacks #pragma once")
+
+
+def check_include_rules(path, lines):
+    includes = []  # (lineno0, style, target)
+    for lineno0, line in enumerate(lines):
+        m = INCLUDE_RE.match(line)
+        if m:
+            token = m.group(1)
+            includes.append((lineno0, token[0], token[1:-1]))
+
+    for lineno0, style, target in includes:
+        if style == '"':
+            if ".." in target.split("/"):
+                yield Violation(path, lineno0 + 1, "include-order",
+                                f'"{target}" climbs directories — include '
+                                "project headers relative to src/")
+            elif not ((REPO / "src" / target).exists() or
+                      (REPO / target).exists() or
+                      (path.parent / target).exists()):
+                # src/ is every target's include dir; bench/example
+                # binaries additionally get the repo root (for
+                # "bench/common.hpp").
+                yield Violation(path, lineno0 + 1, "include-order",
+                                f'"{target}" resolves against neither src/, '
+                                "the repo root, nor the including directory")
+        else:
+            if (REPO / "src" / target).exists():
+                yield Violation(path, lineno0 + 1, "include-order",
+                                f"project header <{target}> must use "
+                                'quotes ("...")')
+
+    # src/*.cpp: own header first.
+    try:
+        rel = path.relative_to(REPO / "src")
+    except ValueError:
+        rel = None
+    if rel is not None and path.suffix == ".cpp" and includes:
+        own = rel.with_suffix(".hpp").as_posix()
+        _, style, target = includes[0]
+        if style != '"' or target != own:
+            yield Violation(path, includes[0][0] + 1, "include-order",
+                            f'first include must be the own header "{own}"')
+
+    # Contiguous runs: single style, sorted.
+    run = []
+    for idx, (lineno0, style, target) in enumerate(includes):
+        if run and lineno0 != run[-1][0] + 1:
+            yield from check_run(path, run)
+            run = []
+        run.append((lineno0, style, target))
+    if run:
+        yield from check_run(path, run)
+
+
+def check_run(path, run):
+    styles = {style for _, style, _ in run}
+    if len(styles) > 1:
+        yield Violation(path, run[0][0] + 1, "include-order",
+                        "mixed <> and \"\" includes in one block — separate "
+                        "system and project includes with a blank line")
+        return
+    targets = [target for _, _, target in run]
+    if targets != sorted(targets):
+        yield Violation(path, run[0][0] + 1, "include-order",
+                        "include block is not lexicographically sorted")
+
+
+def lint_file(path, in_src):
+    raw_text = path.read_text(encoding="utf-8")
+    stripped = strip_comments_and_strings(raw_text)
+    yield from check_content_rules(path, stripped.splitlines(), in_src)
+    yield from check_header_rules(path, raw_text)
+    # Include rules read the raw lines: the targets live inside string
+    # literals, which the stripper blanks out.
+    yield from check_include_rules(path, raw_text.splitlines())
+
+
+def tree_files():
+    for root in SCAN_ROOTS:
+        for path in sorted((REPO / root).rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            if FIXTURES in path.parents:
+                continue  # deliberately-bad linter fixtures
+            yield path
+
+
+def run_tree():
+    violations = []
+    count = 0
+    for path in tree_files():
+        count += 1
+        in_src = (REPO / "src") in path.parents
+        violations.extend(lint_file(path, in_src))
+    for v in violations:
+        print(v)
+    print(f"lint.py: {count} files scanned, {len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+# Every fixture file maps to the exact rule set it must trigger; a
+# clean fixture proves the linter doesn't cry wolf.
+SELF_TEST_EXPECTATIONS = {
+    "bad_rand.cpp": {"no-rand"},
+    "bad_atoi.cpp": {"no-naked-atoi"},
+    "bad_header.hpp": {"pragma-once", "no-using-namespace"},
+    "bad_fingerprint.cpp": {"fingerprint-domain"},
+    "bad_includes.cpp": {"include-order"},
+    "good.cpp": set(),
+}
+
+
+def run_self_test():
+    failures = []
+    for name, expected in sorted(SELF_TEST_EXPECTATIONS.items()):
+        path = FIXTURES / name
+        if not path.exists():
+            failures.append(f"{name}: fixture missing")
+            continue
+        got = {v.rule for v in lint_file(path, in_src=True)}
+        if got != expected:
+            failures.append(f"{name}: expected rules {sorted(expected)}, "
+                            f"got {sorted(got)}")
+    for failure in failures:
+        print(f"lint.py --self-test: {failure}")
+    print(f"lint.py --self-test: {len(SELF_TEST_EXPECTATIONS)} fixtures, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint tests/lint/fixtures and check each file "
+                             "triggers exactly its expected rules")
+    args = parser.parse_args()
+    return run_self_test() if args.self_test else run_tree()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

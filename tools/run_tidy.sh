@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# clang-tidy over src/, filtered through tools/tidy_baseline.txt.
+#
+#   tools/run_tidy.sh [build-dir]
+#
+# The build dir must hold a compile_commands.json (the top-level
+# CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS). Exits 0 when every
+# diagnostic is baselined, 1 when new diagnostics appear, and 0 with a
+# notice when clang-tidy is not installed (the container bakes in only
+# the gcc toolchain; the gate must not brick tier scripts there).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_tidy.sh: clang-tidy not found — skipping (install LLVM to enable)"
+    exit 0
+fi
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+    echo "run_tidy.sh: ${build_dir}/compile_commands.json missing — configure first" >&2
+    exit 2
+fi
+
+# Baseline = non-comment, non-blank substrings.
+mapfile -t baseline < <(grep -v '^[[:space:]]*#' tools/tidy_baseline.txt | grep -v '^[[:space:]]*$' || true)
+
+out="$(clang-tidy -p "${build_dir}" --quiet src/*/*.cpp 2>/dev/null || true)"
+
+new=""
+while IFS= read -r line; do
+    [[ -z "${line}" ]] && continue
+    suppressed=0
+    for entry in "${baseline[@]:-}"; do
+        [[ -n "${entry}" && "${line}" == *"${entry}"* ]] && { suppressed=1; break; }
+    done
+    [[ ${suppressed} -eq 0 ]] && new+="${line}"$'\n'
+done < <(printf '%s\n' "${out}" | grep -E 'warning:|error:' || true)
+
+if [[ -n "${new}" ]]; then
+    printf '%s' "${new}"
+    echo "run_tidy.sh: new clang-tidy diagnostics (not in tools/tidy_baseline.txt)" >&2
+    exit 1
+fi
+echo "run_tidy.sh: clean (baseline: ${#baseline[@]} entr(y/ies))"

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the full test suite.
+# Tier-1 verification: lint, configure, build, and run the full test
+# suite. Warnings are errors here; the plain `cmake -B build` path
+# stays permissive for exotic compilers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -S .
+python3 tools/lint.py
+cmake -B build -S . -DXRPL_WERROR=ON
 cmake --build build -j
 cd build && ctest --output-on-failure -j

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-2 verification: the sanitizer build matrix (DESIGN.md §10).
+#
+# Runs the linter, then builds the test suite under the asan-ubsan and
+# tsan presets (contracts enabled in both) and runs ctest under each.
+# Sanitizer findings abort the run: halt_on_error is set so the first
+# UB/race/leak fails its test instead of scrolling past.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 tools/lint.py
+python3 tools/lint.py --self-test
+
+export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1:strict_string_checks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export TSAN_OPTIONS="halt_on_error=1"
+
+for preset in asan-ubsan tsan; do
+    echo "=== tier2: preset ${preset} ==="
+    cmake --preset "${preset}"
+    # Only the test binary: benches/examples would triple the build for
+    # no extra sanitizer coverage.
+    cmake --build --preset "${preset}" --target xrpl_tests -j "$(nproc)"
+    ctest --preset "${preset}" -j "$(nproc)"
+    echo "=== tier2: ${preset} sweep clean (all ctest suites green) ==="
+done
+
+echo "tier2: OK — lint clean, asan-ubsan clean, tsan clean"
