@@ -7,30 +7,17 @@
 // ~1/90 of the paper's 23M — all rates preserved).
 #pragma once
 
-#include <charconv>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "datagen/history.hpp"
+#include "util/env.hpp"
 
 namespace xrpl::bench {
 
-inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-    const char* value = std::getenv(name);
-    if (value == nullptr) return fallback;
-    std::uint64_t parsed = 0;
-    const char* end = value + std::strlen(value);
-    const auto [ptr, ec] = std::from_chars(value, end, parsed);
-    if (ec != std::errc{} || ptr != end || parsed == 0) {
-        std::cerr << "warning: ignoring malformed " << name << "='" << value
-                  << "' (expected a positive integer); using " << fallback
-                  << "\n";
-        return fallback;
-    }
-    return parsed;
-}
+// The strict parser lives in util (XRPL_THREADS and the bench knobs
+// share it); benches keep their historical bench::env_u64 spelling.
+using util::env_u64;
 
 inline datagen::GeneratorConfig default_history_config() {
     datagen::GeneratorConfig config;

@@ -12,7 +12,9 @@ int main() {
     bench::print_header("Fig 4", "most used currencies, by payment count");
     const datagen::GeneratedHistory& history = bench::dataset();
 
-    const auto ranked = analytics::rank_currencies(history.currency_counts);
+    // Chunk-parallel scan of the currency column (identical to the
+    // streamed history.currency_counts — pinned by test_determinism).
+    const auto ranked = analytics::rank_currencies(history.payments.view());
     std::vector<util::Bar> bars;
     for (const analytics::CurrencyCount& row : ranked) {
         if (row.payments < 2) continue;  // Fig 4 cuts off around 10^2

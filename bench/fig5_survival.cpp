@@ -13,19 +13,19 @@ int main() {
     bench::print_header("Fig 5", "survival function of payment amounts");
     const datagen::GeneratedHistory& history = bench::dataset();
 
-    // Global = currency-unaware distribution.
-    std::vector<float> global;
-    for (const auto& [currency, samples] : history.amounts_by_currency) {
-        global.insert(global.end(), samples.begin(), samples.end());
-    }
+    // Chunk-parallel scans of the amount column (identical to the
+    // streamed per-currency samples — pinned by test_determinism).
+    const ledger::PaymentView view = history.payments.view();
 
     const char* codes[] = {"BTC", "CCK", "CNY", "EUR", "MTL", "USD", "XRP"};
     std::vector<std::pair<std::string, analytics::SurvivalFunction>> curves;
-    curves.emplace_back("Global", analytics::SurvivalFunction(global));
+    curves.emplace_back("Global",
+                        analytics::SurvivalFunction(analytics::amount_samples(view)));
     for (const char* code : codes) {
-        const auto it = history.amounts_by_currency.find(datagen::cur(code));
-        if (it == history.amounts_by_currency.end()) continue;
-        curves.emplace_back(code, analytics::SurvivalFunction(it->second));
+        analytics::SurvivalFunction curve =
+            analytics::survival_of(view, datagen::cur(code));
+        if (curve.sample_count() == 0) continue;
+        curves.emplace_back(code, std::move(curve));
     }
 
     // Rows: survival at each decade of the paper's 1e-4..1e12 x-axis.

@@ -10,6 +10,7 @@
 #include "consensus/rpca.hpp"
 #include "core/deanonymizer.hpp"
 #include "core/ig_study.hpp"
+#include "exec/thread_pool.hpp"
 #include "ledger/amount.hpp"
 #include "ledger/payment_columns.hpp"
 #include "node/node.hpp"
@@ -127,6 +128,47 @@ void BM_InformationGainColumnar(benchmark::State& state) {
                             state.range(0));
 }
 BENCHMARK(BM_InformationGainColumnar)->Arg(10'000)->Arg(100'000)->Arg(250'000);
+
+// Thread-count sweep for the chunked scans: 1 / 2 / 4 / all hardware
+// threads (skipped when hardware has 4 or fewer). The Arg is the pool
+// width; results must be identical across the sweep — only the time
+// may move.
+void ThreadSweepArgs(benchmark::internal::Benchmark* b) {
+    b->Arg(1)->Arg(2)->Arg(4);
+    const auto hardware =
+        static_cast<std::int64_t>(exec::ThreadPool::configured_parallelism());
+    if (hardware > 4) b->Arg(hardware);
+}
+
+void BM_InformationGainColumnarThreads(benchmark::State& state) {
+    const auto records = make_records(250'000);
+    const ledger::PaymentColumns columns =
+        ledger::PaymentColumns::from_records(records);
+    const core::Deanonymizer deanonymizer(columns);
+    const core::ResolutionConfig config = core::full_resolution();
+    exec::ScopedParallelism pool(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(deanonymizer.information_gain(config));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            250'000);
+}
+BENCHMARK(BM_InformationGainColumnarThreads)->Apply(ThreadSweepArgs);
+
+// The full ten-configuration Fig 3 grid — the acceptance target for
+// the chunked runtime (configs x chunks on one flat task grid).
+void BM_IgStudyThreads(benchmark::State& state) {
+    const auto records = make_records(250'000);
+    const ledger::PaymentColumns columns =
+        ledger::PaymentColumns::from_records(records);
+    exec::ScopedParallelism pool(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::run_ig_study(columns.view()));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            250'000 * 10);
+}
+BENCHMARK(BM_IgStudyThreads)->Apply(ThreadSweepArgs);
 
 // Ablation: one indexed attack vs scanning the whole history.
 void BM_AttackIndexed(benchmark::State& state) {

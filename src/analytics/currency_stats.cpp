@@ -2,7 +2,52 @@
 
 #include <algorithm>
 
+#include "exec/chunked_view.hpp"
+#include "exec/parallel.hpp"
+
 namespace xrpl::analytics {
+
+std::unordered_map<ledger::Currency, std::uint64_t> count_currencies(
+    ledger::PaymentView view) {
+    const ledger::PaymentColumns& columns = view.columns();
+    const std::size_t offset = view.offset();
+    const exec::ChunkedView chunks(view);
+
+    // Partial = counts by interned currency id. The currency dictionary
+    // is small (u16 ids), so dense per-chunk vectors beat hash maps.
+    using Partial = std::vector<std::uint64_t>;
+    const Partial merged = exec::map_reduce<Partial>(
+        chunks.chunk_count(),
+        [&](std::size_t c) {
+            const exec::ChunkedView::Bounds b = chunks.bounds(c);
+            Partial local(columns.currencies.size(), 0);
+            for (std::size_t r = b.begin; r < b.end; ++r) {
+                ++local[columns.currency_id[offset + r]];
+            }
+            return local;
+        },
+        [](Partial& acc, Partial&& part) {
+            if (acc.empty()) {
+                acc = std::move(part);
+                return;
+            }
+            for (std::size_t i = 0; i < part.size(); ++i) acc[i] += part[i];
+        });
+
+    std::unordered_map<ledger::Currency, std::uint64_t> counts;
+    counts.reserve(merged.size());
+    for (std::size_t c = 0; c < merged.size(); ++c) {
+        if (merged[c] != 0) {
+            counts.emplace(columns.currencies.at(static_cast<std::uint16_t>(c)),
+                           merged[c]);
+        }
+    }
+    return counts;
+}
+
+std::vector<CurrencyCount> rank_currencies(ledger::PaymentView view) {
+    return rank_currencies(count_currencies(view));
+}
 
 std::vector<CurrencyCount> rank_currencies(
     const std::unordered_map<ledger::Currency, std::uint64_t>& counts) {

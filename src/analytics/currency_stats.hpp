@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ledger/payment_columns.hpp"
 #include "ledger/types.hpp"
 
 namespace xrpl::analytics {
@@ -15,8 +16,18 @@ struct CurrencyCount {
     double share = 0.0;  // of all payments
 };
 
+/// Column-native scan: payments per currency. Chunk-parallel over the
+/// currency-id column (dense per-chunk count vectors, elementwise
+/// sum), so the result matches the counts the history builder streams
+/// out row by row — for every thread count.
+[[nodiscard]] std::unordered_map<ledger::Currency, std::uint64_t> count_currencies(
+    ledger::PaymentView view);
+
 /// Rank currencies by payment count, descending (Fig 4's x-axis order).
 [[nodiscard]] std::vector<CurrencyCount> rank_currencies(
     const std::unordered_map<ledger::Currency, std::uint64_t>& counts);
+
+/// count_currencies + rank_currencies in one call.
+[[nodiscard]] std::vector<CurrencyCount> rank_currencies(ledger::PaymentView view);
 
 }  // namespace xrpl::analytics

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "exec/chunked_view.hpp"
+#include "exec/parallel.hpp"
+
 namespace xrpl::analytics {
 
 namespace {
@@ -47,25 +50,69 @@ NetworkStats compute_network_stats(const ledger::LedgerState& ledger,
     return stats;
 }
 
+namespace {
+
+/// Sorted, deduplicated interned-account ids seen by one chunk (or a
+/// merged prefix of chunks).
+struct ActivityPartial {
+    std::vector<std::uint32_t> sent;
+    std::vector<std::uint32_t> touched;
+};
+
+std::vector<std::uint32_t> sorted_union(const std::vector<std::uint32_t>& a,
+                                        const std::vector<std::uint32_t>& b) {
+    std::vector<std::uint32_t> out;
+    out.reserve(a.size() + b.size());
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(out));
+    return out;
+}
+
+void sort_unique(std::vector<std::uint32_t>& ids) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace
+
 NetworkStats compute_network_stats(const ledger::LedgerState& ledger,
                                    ledger::PaymentView view) {
     NetworkStats stats;
     fill_ledger_stats(stats, ledger);
 
-    // Interned ids are dense, so set membership is two flag vectors.
+    // Distinct senders / participants as sorted interned-id sets:
+    // each chunk collects and dedups its own ids, merges are sorted
+    // set unions — associative, and memory-bounded by the chunk, not
+    // the account dictionary.
     const ledger::PaymentColumns& columns = view.columns();
     const std::size_t offset = view.offset();
-    std::vector<bool> sent(columns.accounts.size(), false);
-    std::vector<bool> touched(columns.accounts.size(), false);
-    for (std::size_t i = 0; i < view.size(); ++i) {
-        sent[columns.sender_id[offset + i]] = true;
-        touched[columns.sender_id[offset + i]] = true;
-        touched[columns.dest_id[offset + i]] = true;
-    }
-    stats.active_senders =
-        static_cast<std::uint64_t>(std::count(sent.begin(), sent.end(), true));
-    stats.active_participants = static_cast<std::uint64_t>(
-        std::count(touched.begin(), touched.end(), true));
+    const exec::ChunkedView chunks(view);
+    const ActivityPartial merged = exec::map_reduce<ActivityPartial>(
+        chunks.chunk_count(),
+        [&](std::size_t c) {
+            const exec::ChunkedView::Bounds b = chunks.bounds(c);
+            ActivityPartial local;
+            local.sent.reserve(b.end - b.begin);
+            local.touched.reserve(2 * (b.end - b.begin));
+            for (std::size_t r = b.begin; r < b.end; ++r) {
+                local.sent.push_back(columns.sender_id[offset + r]);
+                local.touched.push_back(columns.sender_id[offset + r]);
+                local.touched.push_back(columns.dest_id[offset + r]);
+            }
+            sort_unique(local.sent);
+            sort_unique(local.touched);
+            return local;
+        },
+        [](ActivityPartial& acc, ActivityPartial&& part) {
+            if (acc.sent.empty() && acc.touched.empty()) {
+                acc = std::move(part);
+                return;
+            }
+            acc.sent = sorted_union(acc.sent, part.sent);
+            acc.touched = sorted_union(acc.touched, part.touched);
+        });
+    stats.active_senders = merged.sent.size();
+    stats.active_participants = merged.touched.size();
     return stats;
 }
 

@@ -3,7 +3,70 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/chunked_view.hpp"
+#include "exec/parallel.hpp"
+#include "ledger/amount.hpp"
+
 namespace xrpl::analytics {
+
+namespace {
+
+float amount_at(const ledger::PaymentColumns& columns, std::size_t row) noexcept {
+    return static_cast<float>(ledger::IouAmount::from_mantissa_exponent(
+                                  columns.amount_mantissa[row],
+                                  columns.amount_exponent[row])
+                                  .to_double());
+}
+
+}  // namespace
+
+std::vector<float> amount_samples(ledger::PaymentView view) {
+    const ledger::PaymentColumns& columns = view.columns();
+    const std::size_t offset = view.offset();
+    std::vector<float> samples(view.size());
+    exec::parallel_for(view.size(), exec::kDefaultChunkRows,
+                       [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t r = begin; r < end; ++r) {
+                               samples[r] = amount_at(columns, offset + r);
+                           }
+                       });
+    return samples;
+}
+
+std::vector<float> amount_samples(ledger::PaymentView view,
+                                  const ledger::Currency& currency) {
+    const ledger::PaymentColumns& columns = view.columns();
+    const std::optional<std::uint16_t> id = columns.currencies.find(currency);
+    if (!id) return {};
+
+    const std::size_t offset = view.offset();
+    const exec::ChunkedView chunks(view);
+    return exec::map_reduce<std::vector<float>>(
+        chunks.chunk_count(),
+        [&](std::size_t c) {
+            const exec::ChunkedView::Bounds b = chunks.bounds(c);
+            std::vector<float> local;
+            for (std::size_t r = b.begin; r < b.end; ++r) {
+                if (columns.currency_id[offset + r] == *id) {
+                    local.push_back(amount_at(columns, offset + r));
+                }
+            }
+            return local;
+        },
+        [](std::vector<float>& acc, std::vector<float>&& part) {
+            if (acc.empty()) {
+                acc = std::move(part);
+                return;
+            }
+            acc.insert(acc.end(), part.begin(), part.end());
+        });
+}
+
+SurvivalFunction survival_of(ledger::PaymentView view,
+                             const ledger::Currency& currency) {
+    const std::vector<float> samples = amount_samples(view, currency);
+    return SurvivalFunction(samples);
+}
 
 SurvivalFunction::SurvivalFunction(std::span<const float> samples)
     : sorted_(samples.begin(), samples.end()) {

@@ -9,6 +9,9 @@
 #include <span>
 #include <vector>
 
+#include "ledger/payment_columns.hpp"
+#include "ledger/types.hpp"
+
 namespace xrpl::analytics {
 
 class SurvivalFunction {
@@ -40,5 +43,22 @@ public:
 private:
     std::vector<float> sorted_;
 };
+
+/// Column-native scan: the amount of every payment in `view`, in row
+/// order, as the float samples the history builder streams out.
+/// Chunk-parallel with disjoint output slots.
+[[nodiscard]] std::vector<float> amount_samples(ledger::PaymentView view);
+
+/// Amounts of payments in `currency` only, in row order. Chunk-local
+/// sample vectors concatenated in chunk order — concatenation is the
+/// one merge here that is NOT commutative, so the ordered-merge
+/// contract is what keeps the output byte-identical across thread
+/// counts.
+[[nodiscard]] std::vector<float> amount_samples(ledger::PaymentView view,
+                                                const ledger::Currency& currency);
+
+/// SurvivalFunction over `currency`'s payments in `view` (Fig 5).
+[[nodiscard]] SurvivalFunction survival_of(ledger::PaymentView view,
+                                           const ledger::Currency& currency);
 
 }  // namespace xrpl::analytics

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "exec/chunked_view.hpp"
+#include "exec/parallel.hpp"
+
 namespace xrpl::analytics {
 
 namespace {
@@ -58,6 +61,67 @@ double coverage_of_top(
     }
     return total == 0 ? 0.0
                       : static_cast<double>(covered) / static_cast<double>(total);
+}
+
+std::unordered_map<ledger::AccountID, std::uint64_t> sender_activity(
+    ledger::PaymentView view) {
+    const ledger::PaymentColumns& columns = view.columns();
+    const std::size_t offset = view.offset();
+    const exec::ChunkedView chunks(view);
+
+    // Per-chunk partials stay sparse — (interned id, count) pairs
+    // sorted by id, at most chunk_rows entries — so memory scales with
+    // the chunk, not with the account dictionary. Two sorted runs
+    // merge like a merge sort pass.
+    using Partial = std::vector<std::pair<std::uint32_t, std::uint64_t>>;
+    const Partial merged = exec::map_reduce<Partial>(
+        chunks.chunk_count(),
+        [&](std::size_t c) {
+            const exec::ChunkedView::Bounds b = chunks.bounds(c);
+            std::unordered_map<std::uint32_t, std::uint64_t> local;
+            local.reserve(b.end - b.begin);
+            for (std::size_t r = b.begin; r < b.end; ++r) {
+                ++local[columns.sender_id[offset + r]];
+            }
+            Partial sparse(local.begin(), local.end());
+            std::sort(sparse.begin(), sparse.end());
+            return sparse;
+        },
+        [](Partial& acc, Partial&& part) {
+            if (acc.empty()) {
+                acc = std::move(part);
+                return;
+            }
+            Partial combined;
+            combined.reserve(acc.size() + part.size());
+            std::size_t a = 0;
+            std::size_t p = 0;
+            while (a < acc.size() && p < part.size()) {
+                if (acc[a].first < part[p].first) {
+                    combined.push_back(acc[a++]);
+                } else if (part[p].first < acc[a].first) {
+                    combined.push_back(part[p++]);
+                } else {
+                    combined.emplace_back(acc[a].first,
+                                          acc[a].second + part[p].second);
+                    ++a;
+                    ++p;
+                }
+            }
+            combined.insert(combined.end(), acc.begin() + static_cast<std::ptrdiff_t>(a),
+                            acc.end());
+            combined.insert(combined.end(),
+                            part.begin() + static_cast<std::ptrdiff_t>(p),
+                            part.end());
+            acc = std::move(combined);
+        });
+
+    std::unordered_map<ledger::AccountID, std::uint64_t> counts;
+    counts.reserve(merged.size());
+    for (const auto& [id, sent] : merged) {
+        counts.emplace(columns.accounts.at(id), sent);
+    }
+    return counts;
 }
 
 }  // namespace xrpl::analytics

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ledger/ledger.hpp"
+#include "ledger/payment_columns.hpp"
 
 namespace xrpl::analytics {
 
@@ -42,5 +43,14 @@ struct TopUser {
 [[nodiscard]] double coverage_of_top(
     const std::unordered_map<ledger::AccountID, std::uint64_t>& intermediary_counts,
     std::size_t k);
+
+/// Column-native scan: payments sent per account. Chunk-parallel over
+/// the sender-id column; per-chunk (id, count) runs sorted by interned
+/// id merge into one dense accumulator, so the table is identical for
+/// every thread count. Feed the result to top_intermediaries /
+/// coverage_of_top when ranking by send volume instead of
+/// intermediate-hop appearances.
+[[nodiscard]] std::unordered_map<ledger::AccountID, std::uint64_t> sender_activity(
+    ledger::PaymentView view);
 
 }  // namespace xrpl::analytics

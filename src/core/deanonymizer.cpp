@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "core/ig_accumulator.hpp"
+#include "exec/chunked_view.hpp"
+#include "exec/parallel.hpp"
 #include "util/contract.hpp"
 
 namespace xrpl::core {
@@ -43,42 +46,21 @@ IgResult Deanonymizer::information_gain_rows(const ResolutionConfig& config) con
 
 IgResult Deanonymizer::information_gain_columns(
     const ResolutionConfig& config) const {
-    // One batched column pass; the fingerprint vector then serves both
-    // the bucket-build and the counting pass (the row path pays the
-    // full fingerprint twice).
-    const std::vector<std::uint64_t> fingerprints =
-        fingerprint_column(*view_, config);
-    const ledger::PaymentColumns& columns = view_->columns();
-    const std::size_t offset = view_->offset();
-
-    // fingerprint -> (first interned sender seen, is-multi-sender flag)
-    struct Bucket {
-        std::uint32_t sender = 0;
-        bool multi = false;
-    };
-    std::unordered_map<std::uint64_t, Bucket> buckets;
-    buckets.reserve(fingerprints.size());
-
-    for (std::size_t i = 0; i < fingerprints.size(); ++i) {
-        const std::uint32_t sender = columns.sender_id[offset + i];
-        auto [it, inserted] =
-            buckets.try_emplace(fingerprints[i], Bucket{sender, false});
-        if (!inserted && it->second.sender != sender) it->second.multi = true;
-    }
-
-    IgResult result;
-    result.total_payments = fingerprints.size();
-    for (const std::uint64_t fp : fingerprints) {
-        if (!buckets.at(fp).multi) ++result.uniquely_identified;
-    }
-    // IG is a probability (Fig 3 plots it in [0, 1]): the uniquely
-    // identified payments are a subset of all payments, and there are
-    // at most as many fingerprint buckets as payments.
-    XRPL_INVARIANT(result.uniquely_identified <= result.total_payments,
-                   "IG numerator must be a subset of the payment count");
-    XRPL_INVARIANT(buckets.size() <= result.total_payments,
-                   "fingerprint buckets cannot outnumber payments");
-    return result;
+    // Chunk-parallel map (fingerprint + bucket each chunk on the
+    // pool), then the ordered associative merge — identical counts for
+    // every thread count; see ig_accumulator.hpp.
+    const FingerprintPlan plan(view_->columns(), config);
+    const exec::ChunkedView chunks(*view_);
+    const IgPartial merged = exec::map_reduce<IgPartial>(
+        chunks.chunk_count(),
+        [&](std::size_t c) {
+            const exec::ChunkedView::Bounds b = chunks.bounds(c);
+            return ig_map_chunk(*view_, plan, b.begin, b.end);
+        },
+        [](IgPartial& acc, IgPartial&& part) {
+            ig_reduce(acc, std::move(part));
+        });
+    return ig_finalize(merged);
 }
 
 std::vector<ledger::AccountID> Deanonymizer::attack(
@@ -150,12 +132,39 @@ AttackIndex::AttackIndex(const ledger::PaymentColumns& payments,
 
 AttackIndex::AttackIndex(ledger::PaymentView view, ResolutionConfig config)
     : view_(view), config_(config) {
-    const std::vector<std::uint64_t> fingerprints =
-        fingerprint_column(view, config_);
-    index_.reserve(fingerprints.size());
-    for (std::uint32_t i = 0; i < fingerprints.size(); ++i) {
-        index_[fingerprints[i]].push_back(i);
-    }
+    // Chunk-local fingerprint->rows maps, appended in chunk order:
+    // chunk c's row indices all precede chunk c+1's, so every bucket
+    // comes out ascending — byte-identical to the serial build.
+    const FingerprintPlan plan(view.columns(), config_);
+    const exec::ChunkedView chunks(view);
+    using PartialIndex =
+        std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>;
+    index_ = exec::map_reduce<PartialIndex>(
+        chunks.chunk_count(),
+        [&](std::size_t c) {
+            const exec::ChunkedView::Bounds b = chunks.bounds(c);
+            const std::size_t n = b.end - b.begin;
+            std::vector<std::uint64_t> fingerprints(n);
+            plan.rows(view.offset() + b.begin, view.offset() + b.end,
+                      fingerprints.data());
+            PartialIndex local;
+            local.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                local[fingerprints[i]].push_back(
+                    static_cast<std::uint32_t>(b.begin + i));
+            }
+            return local;
+        },
+        [](PartialIndex& acc, PartialIndex&& part) {
+            if (acc.empty()) {
+                acc = std::move(part);
+                return;
+            }
+            for (auto& [fp, rows] : part) {
+                std::vector<std::uint32_t>& bucket = acc[fp];
+                bucket.insert(bucket.end(), rows.begin(), rows.end());
+            }
+        });
 #if XRPL_CONTRACTS_ENABLED
     // Bucket consistency: the buckets partition the record range —
     // every record indexed exactly once, every stored index in range.
@@ -164,11 +173,11 @@ AttackIndex::AttackIndex(ledger::PaymentView view, ResolutionConfig config)
     for (const auto& [fp, rows] : index_) {
         indexed += rows.size();
         for (const std::uint32_t row : rows) {
-            XRPL_INVARIANT(row < fingerprints.size(),
+            XRPL_INVARIANT(row < view.size(),
                            "attack-index buckets must reference real records");
         }
     }
-    XRPL_INVARIANT(indexed == fingerprints.size(),
+    XRPL_INVARIANT(indexed == view.size(),
                    "attack-index buckets must partition the record range");
 #endif
 }

@@ -1,6 +1,7 @@
 #include "core/fingerprint.hpp"
 
-#include "core/resolution.hpp"
+#include "exec/chunked_view.hpp"
+#include "exec/parallel.hpp"
 #include "ledger/types.hpp"
 #include "util/contract.hpp"
 #include "util/ripple_time.hpp"
@@ -81,71 +82,86 @@ std::uint64_t fingerprint(const ledger::TxRecord& record,
     return hasher.digest();
 }
 
-std::vector<std::uint64_t> fingerprint_column(const ledger::PaymentView& view,
-                                              const ResolutionConfig& config) {
-    const ledger::PaymentColumns& columns = view.columns();
-    const std::size_t offset = view.offset();
-    const std::size_t n = view.size();
-    std::vector<std::uint64_t> fingerprints(n);
-    if (n == 0) return fingerprints;
-
-    // The view's window and every interned id it dereferences must lie
-    // inside the backing store; the per-row loop below indexes columns
-    // and dictionary tables unchecked on that strength.
-    XRPL_ASSERT(offset + n <= columns.size(),
-                "payment view window must lie inside its columns");
-
+FingerprintPlan::FingerprintPlan(const ledger::PaymentColumns& columns,
+                                 const ResolutionConfig& config)
+    : columns_(&columns), config_(config) {
     // Destination hash words: fold each distinct account once instead
     // of re-folding 20 bytes per payment.
-    std::vector<std::uint64_t> dest_words;
-    if (config.use_destination) {
-        dest_words.resize(columns.accounts.size());
-        for (std::uint32_t a = 0; a < dest_words.size(); ++a) {
-            dest_words[a] = account_word(columns.accounts.at(a)) ^ kDestinationDomain;
+    if (config_.use_destination) {
+        dest_words_.resize(columns.accounts.size());
+        for (std::uint32_t a = 0; a < dest_words_.size(); ++a) {
+            dest_words_[a] =
+                account_word(columns.accounts.at(a)) ^ kDestinationDomain;
         }
     }
 
     // Per-currency context: code word and Table I rounding unit, each
     // resolved once per currency group instead of once per payment.
-    struct CurrencyContext {
-        std::uint64_t word = 0;
-        RoundingUnit unit;
-    };
-    std::vector<CurrencyContext> currency_context(columns.currencies.size());
-    for (std::uint16_t c = 0; c < currency_context.size(); ++c) {
+    currency_context_.resize(columns.currencies.size());
+    for (std::uint16_t c = 0; c < currency_context_.size(); ++c) {
         const ledger::Currency& currency = columns.currencies.at(c);
-        currency_context[c].word = currency_word(currency) ^ kCurrencyDomain;
-        if (config.amount) {
-            currency_context[c].unit = rounding_unit(currency, *config.amount);
+        currency_context_[c].word = currency_word(currency) ^ kCurrencyDomain;
+        if (config_.amount) {
+            currency_context_[c].unit = rounding_unit(currency, *config_.amount);
         }
     }
+}
 
-    for (std::size_t i = 0; i < n; ++i) {
-        const std::size_t r = offset + i;
-        XRPL_ASSERT(columns.currency_id[r] < currency_context.size() &&
-                        (!config.use_destination ||
-                         columns.dest_id[r] < dest_words.size()),
+void FingerprintPlan::rows(std::size_t begin, std::size_t end,
+                           std::uint64_t* out) const {
+    const ledger::PaymentColumns& columns = *columns_;
+    // The range and every interned id it dereferences must lie inside
+    // the backing store; the per-row loop below indexes columns and
+    // dictionary tables unchecked on that strength.
+    XRPL_ASSERT(begin <= end && end <= columns.size(),
+                "fingerprint row range must lie inside the store");
+
+    for (std::size_t r = begin; r < end; ++r) {
+        XRPL_ASSERT(columns.currency_id[r] < currency_context_.size() &&
+                        (!config_.use_destination ||
+                         columns.dest_id[r] < dest_words_.size()),
                     "interned column ids must resolve in their dictionaries");
         FingerprintHasher hasher;
-        if (config.amount) {
-            const ledger::IouAmount amount = ledger::IouAmount::from_mantissa_exponent(
-                columns.amount_mantissa[r], columns.amount_exponent[r]);
-            mix_amount(hasher, round_amount(
-                                   amount, currency_context[columns.currency_id[r]].unit));
+        if (config_.amount) {
+            const ledger::IouAmount amount =
+                ledger::IouAmount::from_mantissa_exponent(
+                    columns.amount_mantissa[r], columns.amount_exponent[r]);
+            mix_amount(hasher,
+                       round_amount(
+                           amount, currency_context_[columns.currency_id[r]].unit));
         }
-        if (config.time) {
+        if (config_.time) {
             const util::RippleTime truncated = util::truncate(
-                util::RippleTime{columns.time_seconds[r]}, *config.time);
+                util::RippleTime{columns.time_seconds[r]}, *config_.time);
             hasher.mix(static_cast<std::uint64_t>(truncated.seconds) ^ kTimeDomain);
         }
-        if (config.use_currency) {
-            hasher.mix(currency_context[columns.currency_id[r]].word);
+        if (config_.use_currency) {
+            hasher.mix(currency_context_[columns.currency_id[r]].word);
         }
-        if (config.use_destination) {
-            hasher.mix(dest_words[columns.dest_id[r]]);
+        if (config_.use_destination) {
+            hasher.mix(dest_words_[columns.dest_id[r]]);
         }
-        fingerprints[i] = hasher.digest();
+        out[r - begin] = hasher.digest();
     }
+}
+
+std::vector<std::uint64_t> fingerprint_column(const ledger::PaymentView& view,
+                                              const ResolutionConfig& config) {
+    const std::size_t offset = view.offset();
+    const std::size_t n = view.size();
+    std::vector<std::uint64_t> fingerprints(n);
+    if (n == 0) return fingerprints;
+    XRPL_ASSERT(offset + n <= view.columns().size(),
+                "payment view window must lie inside its columns");
+
+    const FingerprintPlan plan(view.columns(), config);
+    // Chunks write disjoint slices of one output vector: bit-identical
+    // for every thread count, no merge step needed.
+    exec::parallel_for(n, exec::kDefaultChunkRows,
+                       [&](std::size_t begin, std::size_t end) {
+                           plan.rows(offset + begin, offset + end,
+                                     fingerprints.data() + begin);
+                       });
     return fingerprints;
 }
 

@@ -1,0 +1,67 @@
+#include "core/ig_accumulator.hpp"
+
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace xrpl::core {
+
+IgPartial ig_map_chunk(ledger::PaymentView view, const FingerprintPlan& plan,
+                       std::size_t begin, std::size_t end) {
+    const ledger::PaymentColumns& columns = view.columns();
+    const std::size_t offset = view.offset();
+    const std::size_t n = end - begin;
+
+    std::vector<std::uint64_t> fingerprints(n);
+    plan.rows(offset + begin, offset + end, fingerprints.data());
+
+    IgPartial partial;
+    partial.total_rows = n;
+    partial.buckets.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t sender = columns.sender_id[offset + begin + i];
+        auto [it, inserted] = partial.buckets.try_emplace(
+            fingerprints[i], IgPartial::Bucket{sender, 1, false});
+        if (!inserted) {
+            ++it->second.rows;
+            if (it->second.sender != sender) it->second.multi = true;
+        }
+    }
+    return partial;
+}
+
+void ig_reduce(IgPartial& acc, IgPartial&& part) {
+    if (acc.buckets.empty()) {
+        acc.total_rows += part.total_rows;
+        acc.buckets = std::move(part.buckets);
+        return;
+    }
+    acc.total_rows += part.total_rows;
+    for (auto& [fp, bucket] : part.buckets) {
+        auto [it, inserted] = acc.buckets.try_emplace(fp, bucket);
+        if (!inserted) {
+            it->second.rows += bucket.rows;
+            if (bucket.multi || it->second.sender != bucket.sender) {
+                it->second.multi = true;
+            }
+        }
+    }
+}
+
+IgResult ig_finalize(const IgPartial& merged) {
+    IgResult result;
+    result.total_payments = merged.total_rows;
+    for (const auto& [fp, bucket] : merged.buckets) {
+        if (!bucket.multi) result.uniquely_identified += bucket.rows;
+    }
+    // IG is a probability (Fig 3 plots it in [0, 1]): the uniquely
+    // identified payments are a subset of all payments, and there are
+    // at most as many fingerprint buckets as payments.
+    XRPL_INVARIANT(result.uniquely_identified <= result.total_payments,
+                   "IG numerator must be a subset of the payment count");
+    XRPL_INVARIANT(merged.buckets.size() <= result.total_payments,
+                   "fingerprint buckets cannot outnumber payments");
+    return result;
+}
+
+}  // namespace xrpl::core

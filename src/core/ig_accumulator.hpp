@@ -1,0 +1,50 @@
+// Chunk-local information-gain accumulation — the map/reduce halves
+// that Deanonymizer::information_gain (one configuration) and
+// run_ig_study (the ten-configuration Fig 3 grid) both scan through.
+//
+// A partial buckets one chunk's payments by fingerprint, remembering
+// per bucket the first interned sender seen, the number of rows, and
+// whether a second distinct sender ever shared the fingerprint.
+// The merge is associative over ADJACENT chunks (the earlier chunk's
+// representative sender survives), so folding partials in chunk order
+// — exec::map_reduce's contract — reproduces the serial left-to-right
+// scan exactly, for every thread count.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/deanonymizer.hpp"
+#include "core/fingerprint.hpp"
+#include "ledger/payment_columns.hpp"
+
+namespace xrpl::core {
+
+/// Fingerprint buckets of one chunk (or of a prefix of merged chunks).
+struct IgPartial {
+    struct Bucket {
+        std::uint32_t sender = 0;   // first interned sender seen
+        std::uint64_t rows = 0;     // payments sharing the fingerprint
+        bool multi = false;         // a second distinct sender appeared
+    };
+    std::unordered_map<std::uint64_t, Bucket> buckets;
+    std::uint64_t total_rows = 0;
+};
+
+/// Bucket rows [begin, end) of `view` (view-relative indices) under
+/// `plan`. Read-only on the store and plan: chunk tasks run it
+/// concurrently.
+[[nodiscard]] IgPartial ig_map_chunk(ledger::PaymentView view,
+                                     const FingerprintPlan& plan,
+                                     std::size_t begin, std::size_t end);
+
+/// Ordered associative merge: fold `part` (the LATER chunk) into
+/// `acc`. Buckets in both keep acc's representative sender and turn
+/// multi when the representatives differ.
+void ig_reduce(IgPartial& acc, IgPartial&& part);
+
+/// The Fig 3 counts from fully merged buckets: every payment in a
+/// single-sender bucket is uniquely identified.
+[[nodiscard]] IgResult ig_finalize(const IgPartial& merged);
+
+}  // namespace xrpl::core

@@ -1,5 +1,10 @@
 #include "core/ig_study.hpp"
 
+#include "core/ig_accumulator.hpp"
+#include "exec/chunked_view.hpp"
+#include "exec/thread_pool.hpp"
+#include "util/contract.hpp"
+
 namespace xrpl::core {
 
 std::vector<ResolutionConfig> fig3_configurations() {
@@ -41,14 +46,14 @@ PaperReference fig3_paper_reference(std::size_t index) noexcept {
 
 namespace {
 
-std::vector<IgStudyRow> run_study(const Deanonymizer& deanonymizer) {
+std::vector<IgStudyRow> attach_paper_references(std::vector<IgResult> results,
+                                                const std::vector<ResolutionConfig>& configs) {
     std::vector<IgStudyRow> rows;
-    const std::vector<ResolutionConfig> configs = fig3_configurations();
     rows.reserve(configs.size());
     for (std::size_t i = 0; i < configs.size(); ++i) {
         IgStudyRow row;
         row.config = configs[i];
-        row.result = deanonymizer.information_gain(configs[i]);
+        row.result = results[i];
         const PaperReference reference = fig3_paper_reference(i);
         row.paper_value = reference.value;
         row.paper_value_exact = reference.exact;
@@ -60,15 +65,62 @@ std::vector<IgStudyRow> run_study(const Deanonymizer& deanonymizer) {
 }  // namespace
 
 std::vector<IgStudyRow> run_ig_study(std::span<const ledger::TxRecord> records) {
-    return run_study(Deanonymizer(records));
+    const Deanonymizer deanonymizer(records);
+    const std::vector<ResolutionConfig> configs = fig3_configurations();
+    std::vector<IgResult> results;
+    results.reserve(configs.size());
+    for (const ResolutionConfig& config : configs) {
+        results.push_back(deanonymizer.information_gain(config));
+    }
+    return attach_paper_references(std::move(results), configs);
 }
 
 std::vector<IgStudyRow> run_ig_study(const ledger::PaymentColumns& payments) {
-    return run_study(Deanonymizer(payments));
+    return run_ig_study(payments.view());
 }
 
 std::vector<IgStudyRow> run_ig_study(ledger::PaymentView view) {
-    return run_study(Deanonymizer(view));
+    // The whole study is one flat (configuration x chunk) task grid:
+    // chunks parallelize within a configuration, configurations
+    // parallelize against each other, and the pool load-balances
+    // across both dimensions at once — no per-config barrier. The
+    // per-config fingerprint plans are built up front (cheap: one
+    // pass over the two dictionary tables each) and shared read-only
+    // by every chunk task of that configuration.
+    const std::vector<ResolutionConfig> configs = fig3_configurations();
+    const exec::ChunkedView chunks(view);
+    const std::size_t k = chunks.chunk_count();
+
+    std::vector<FingerprintPlan> plans;
+    plans.reserve(configs.size());
+    for (const ResolutionConfig& config : configs) {
+        plans.emplace_back(view.columns(), config);
+    }
+
+    std::vector<std::vector<IgPartial>> partials(configs.size());
+    for (std::vector<IgPartial>& per_config : partials) per_config.resize(k);
+    exec::ThreadPool::shared().run(configs.size() * k, [&](std::size_t t) {
+        const std::size_t config = t / k;
+        const std::size_t chunk = t % k;
+        const exec::ChunkedView::Bounds b = chunks.bounds(chunk);
+        partials[config][chunk] = ig_map_chunk(view, plans[config], b.begin, b.end);
+    });
+
+    // Per-configuration ordered folds, themselves parallel across
+    // configurations (each fold is independent, and within one
+    // configuration partials merge strictly in chunk order).
+    std::vector<IgResult> results(configs.size());
+    exec::ThreadPool::shared().run(configs.size(), [&](std::size_t config) {
+        IgPartial merged;
+        std::size_t folded = 0;
+        for (std::size_t c = 0; c < k; ++c) {
+            XRPL_INVARIANT(folded == c, "partials must merge in chunk order");
+            ig_reduce(merged, std::move(partials[config][c]));
+            ++folded;
+        }
+        results[config] = ig_finalize(merged);
+    });
+    return attach_paper_references(std::move(results), configs);
 }
 
 }  // namespace xrpl::core

@@ -1,0 +1,25 @@
+#include "exec/chunked_view.hpp"
+
+namespace xrpl::exec {
+
+ChunkedView::ChunkedView(ledger::PaymentView view, std::size_t chunk_rows)
+    : view_(view),
+      chunk_rows_(chunk_rows == 0 ? 1 : chunk_rows),
+      chunk_count_((view.size() + chunk_rows_ - 1) / chunk_rows_) {
+#if XRPL_CONTRACTS_ENABLED
+    // The chunks must partition the view exactly: contiguous,
+    // non-overlapping, covering every row once. Every ordered merge
+    // downstream assumes this; O(#chunks) sweep, contract builds only.
+    std::size_t covered = 0;
+    for (std::size_t c = 0; c < chunk_count_; ++c) {
+        const Bounds b = bounds(c);
+        XRPL_INVARIANT(b.begin == covered && b.end > b.begin,
+                       "chunks must be contiguous and non-empty");
+        covered = b.end;
+    }
+    XRPL_INVARIANT(covered == view_.size(),
+                   "chunks must partition the view exactly");
+#endif
+}
+
+}  // namespace xrpl::exec

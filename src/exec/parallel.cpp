@@ -1,0 +1,15 @@
+#include "exec/parallel.hpp"
+
+namespace xrpl::exec {
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+    const std::size_t chunks = chunk_count_for(n, grain);
+    ThreadPool::shared().run(chunks, [&](std::size_t c) {
+        const std::size_t begin = c * grain;
+        const std::size_t end = begin + grain < n ? begin + grain : n;
+        body(begin, end);
+    });
+}
+
+}  // namespace xrpl::exec

@@ -131,6 +131,16 @@ public:
         return PaymentView(*columns_, offset_, n < count_ ? n : count_);
     }
 
+    /// The window [offset, offset + count) of THIS view (offsets are
+    /// view-relative). The chunked-scan runtime windows each chunk
+    /// through here.
+    [[nodiscard]] PaymentView subview(std::size_t offset,
+                                      std::size_t count) const noexcept {
+        XRPL_ASSERT(offset <= count_ && count <= count_ - offset,
+                    "subview must lie inside its parent view");
+        return PaymentView(*columns_, offset_ + offset, count);
+    }
+
     [[nodiscard]] const PaymentColumns& columns() const noexcept {
         return *columns_;
     }

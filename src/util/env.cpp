@@ -1,0 +1,25 @@
+#include "util/env.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace xrpl::util {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr) return fallback;
+    std::uint64_t parsed = 0;
+    const char* end = value + std::strlen(value);
+    const auto [ptr, ec] = std::from_chars(value, end, parsed);
+    if (ec != std::errc{} || ptr != end || parsed == 0) {
+        std::cerr << "warning: ignoring malformed " << name << "='" << value
+                  << "' (expected a positive integer); using " << fallback
+                  << "\n";
+        return fallback;
+    }
+    return parsed;
+}
+
+}  // namespace xrpl::util

@@ -1,0 +1,20 @@
+// Strict environment-variable parsing.
+//
+// Every knob this repo reads from the environment (XRPL_THREADS,
+// XRPL_BENCH_PAYMENTS, ...) goes through env_u64: the whole string
+// must parse as a positive integer, anything else warns once on
+// stderr and falls back — never a silent half-parse (the atoi-family
+// failure mode tools/lint.py bans).
+#pragma once
+
+#include <cstdint>
+
+namespace xrpl::util {
+
+/// Value of the environment variable `name` as a positive integer.
+/// Unset, malformed (trailing garbage, sign, overflow), or zero
+/// values yield `fallback`; malformed and zero additionally warn on
+/// stderr so a typo'd knob never passes silently.
+[[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+}  // namespace xrpl::util

@@ -103,7 +103,8 @@ TEST(CurrencyStatsTest, RanksDescending) {
 }
 
 TEST(CurrencyStatsTest, EmptyIsEmpty) {
-    EXPECT_TRUE(rank_currencies({}).empty());
+    const std::unordered_map<ledger::Currency, std::uint64_t> no_counts;
+    EXPECT_TRUE(rank_currencies(no_counts).empty());
 }
 
 TEST(PathStatsTest, BuildsFromRawHistograms) {

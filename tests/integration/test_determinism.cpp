@@ -1,0 +1,211 @@
+// Thread-count independence: every chunked scan must produce
+// byte-identical results whether the shared pool runs serial
+// (XRPL_THREADS=1) or wide (8 threads on any number of cores). The
+// ordered chunk merge is the mechanism; these tests are the proof
+// against a generated history big enough to split into several chunks
+// (20k rows / 8192-row chunks = 3).
+//
+// The second half checks the scans against the aggregates the history
+// builder streams out row by row — the chunked scan of a column must
+// reproduce the serial streaming pass exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analytics/currency_stats.hpp"
+#include "analytics/network_stats.hpp"
+#include "analytics/path_stats.hpp"
+#include "analytics/survival.hpp"
+#include "analytics/top_users.hpp"
+#include "core/deanonymizer.hpp"
+#include "core/ig_study.hpp"
+#include "datagen/history.hpp"
+#include "exec/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace xrpl {
+namespace {
+
+datagen::GeneratorConfig determinism_config() {
+    datagen::GeneratorConfig config;
+    config.seed = 20150831;
+    config.num_users = 600;
+    config.num_gateways = 15;
+    config.num_market_makers = 25;
+    config.num_merchants = 80;
+    config.num_hubs = 8;
+    config.target_payments = 20'000;
+    return config;
+}
+
+class DeterminismTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        history_ = new datagen::GeneratedHistory(
+            datagen::generate_history(determinism_config()));
+    }
+    static void TearDownTestSuite() {
+        delete history_;
+        history_ = nullptr;
+    }
+    static datagen::GeneratedHistory* history_;
+};
+
+datagen::GeneratedHistory* DeterminismTest::history_ = nullptr;
+
+/// Run `scan` under a width-1 and a width-8 pool and return both
+/// results for comparison.
+template <typename Scan>
+auto serial_vs_wide(const Scan& scan) {
+    exec::ScopedParallelism serial(1);
+    auto one = scan();
+    exec::ScopedParallelism wide(8);
+    auto eight = scan();
+    return std::pair{std::move(one), std::move(eight)};
+}
+
+TEST_F(DeterminismTest, IgStudyRowsIdenticalAcrossThreadCounts) {
+    const auto [serial, wide] = serial_vs_wide(
+        [&] { return core::run_ig_study(history_->payments.view()); });
+    ASSERT_EQ(serial.size(), wide.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].result.total_payments, wide[i].result.total_payments)
+            << serial[i].config.label();
+        EXPECT_EQ(serial[i].result.uniquely_identified,
+                  wide[i].result.uniquely_identified)
+            << serial[i].config.label();
+    }
+}
+
+TEST_F(DeterminismTest, AttackIndexIdenticalAcrossThreadCounts) {
+    const core::ResolutionConfig config = core::full_resolution();
+    const auto [serial, wide] = serial_vs_wide([&] {
+        return core::AttackIndex(history_->payments.view(), config);
+    });
+    EXPECT_EQ(serial.bucket_count(), wide.bucket_count());
+    const std::vector<ledger::TxRecord> records = history_->to_records();
+    for (std::size_t i = 0; i < records.size(); i += 331) {
+        // matches() returns row indices in bucket order — any merge
+        // reordering would show up here, not just a count drift.
+        EXPECT_EQ(serial.matches(records[i]), wide.matches(records[i]))
+            << "row " << i;
+    }
+}
+
+TEST_F(DeterminismTest, CurrencyRanksIdenticalAcrossThreadCounts) {
+    const auto [serial, wide] = serial_vs_wide(
+        [&] { return analytics::rank_currencies(history_->payments.view()); });
+    ASSERT_EQ(serial.size(), wide.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].currency, wide[i].currency);
+        EXPECT_EQ(serial[i].payments, wide[i].payments);
+        EXPECT_EQ(serial[i].share, wide[i].share);
+    }
+}
+
+TEST_F(DeterminismTest, SurvivalSamplesIdenticalAcrossThreadCounts) {
+    const auto [full_serial, full_wide] = serial_vs_wide(
+        [&] { return analytics::amount_samples(history_->payments.view()); });
+    EXPECT_EQ(full_serial, full_wide);
+
+    for (const auto& [currency, expected] : history_->amounts_by_currency) {
+        const auto [serial, wide] = serial_vs_wide([&, c = currency] {
+            return analytics::amount_samples(history_->payments.view(), c);
+        });
+        // Filtered samples concatenate chunk-local vectors — the one
+        // merge where ordering is the whole result.
+        EXPECT_EQ(serial, wide) << std::string_view(currency.code.data(), 3);
+    }
+}
+
+TEST_F(DeterminismTest, TopUsersTableIdenticalAcrossThreadCounts) {
+    const auto [serial, wide] = serial_vs_wide(
+        [&] { return analytics::sender_activity(history_->payments.view()); });
+    EXPECT_EQ(serial, wide);
+    EXPECT_EQ(analytics::coverage_of_top(serial, 50),
+              analytics::coverage_of_top(wide, 50));
+}
+
+TEST_F(DeterminismTest, NetworkStatsIdenticalAcrossThreadCounts) {
+    const auto [serial, wide] = serial_vs_wide([&] {
+        return analytics::compute_network_stats(history_->ledger,
+                                                history_->payments.view());
+    });
+    EXPECT_EQ(serial.active_senders, wide.active_senders);
+    EXPECT_EQ(serial.active_participants, wide.active_participants);
+    EXPECT_EQ(serial.degree_histogram, wide.degree_histogram);
+}
+
+TEST_F(DeterminismTest, PathStatsIdenticalAcrossThreadCounts) {
+    // Synthetic per-payment hop/parallel columns (the generator keeps
+    // only histograms, so the scan input is reconstructed here).
+    util::Rng rng(99);
+    std::vector<std::uint32_t> hops(20'000);
+    std::vector<std::uint32_t> parallel(20'000);
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+        hops[i] = static_cast<std::uint32_t>(rng.uniform_u64(0, 8));
+        parallel[i] =
+            hops[i] == 0 ? 0 : static_cast<std::uint32_t>(rng.uniform_u64(1, 4));
+    }
+    const auto [serial, wide] = serial_vs_wide(
+        [&] { return analytics::accumulate_path_stats(hops, parallel); });
+    EXPECT_EQ(serial.hops.items(), wide.hops.items());
+    EXPECT_EQ(serial.parallel.items(), wide.parallel.items());
+    EXPECT_EQ(serial.hop_anomaly(), wide.hop_anomaly());
+}
+
+// ---- scan vs streaming-aggregate parity ---------------------------------
+
+TEST_F(DeterminismTest, CurrencyScanMatchesStreamedCounts) {
+    const auto scanned = analytics::count_currencies(history_->payments.view());
+    EXPECT_EQ(scanned, history_->currency_counts);
+}
+
+TEST_F(DeterminismTest, AmountScanMatchesStreamedSamples) {
+    for (const auto& [currency, streamed] : history_->amounts_by_currency) {
+        const std::vector<float> scanned =
+            analytics::amount_samples(history_->payments.view(), currency);
+        // Same rows, same order, same float narrowing.
+        EXPECT_EQ(scanned, streamed) << std::string_view(currency.code.data(), 3);
+    }
+}
+
+TEST_F(DeterminismTest, NetworkScanMatchesRowOverload) {
+    const std::vector<ledger::TxRecord> records = history_->to_records();
+    const analytics::NetworkStats rows =
+        analytics::compute_network_stats(history_->ledger, records);
+    const analytics::NetworkStats cols = analytics::compute_network_stats(
+        history_->ledger, history_->payments.view());
+    EXPECT_EQ(rows.active_senders, cols.active_senders);
+    EXPECT_EQ(rows.active_participants, cols.active_participants);
+}
+
+TEST_F(DeterminismTest, PathScanMatchesHistogramBuild) {
+    util::Rng rng(7);
+    std::vector<std::uint32_t> hops(5000);
+    std::vector<std::uint32_t> parallel(5000);
+    std::vector<std::uint64_t> hop_hist(16, 0);
+    std::vector<std::uint64_t> parallel_hist(16, 0);
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+        hops[i] = static_cast<std::uint32_t>(rng.uniform_u64(0, 10));
+        parallel[i] =
+            hops[i] == 0 ? 0 : static_cast<std::uint32_t>(rng.uniform_u64(1, 6));
+        ++hop_hist[hops[i]];
+        ++parallel_hist[parallel[i]];
+    }
+    hop_hist[0] = parallel_hist[0] = 0;  // direct transfers not histogrammed
+
+    const analytics::PathStats scanned =
+        analytics::accumulate_path_stats(hops, parallel);
+    const analytics::PathStats built =
+        analytics::make_path_stats(hop_hist, parallel_hist);
+    EXPECT_EQ(scanned.hops.items(), built.hops.items());
+    EXPECT_EQ(scanned.parallel.items(), built.parallel.items());
+    EXPECT_EQ(scanned.multi_hop_total(), built.multi_hop_total());
+}
+
+}  // namespace
+}  // namespace xrpl

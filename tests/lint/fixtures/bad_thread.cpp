@@ -1,0 +1,12 @@
+// Fixture: raw threading primitives outside src/exec (no-raw-thread).
+// Scans must run on exec::ThreadPool, whose ordered chunk merge keeps
+// results independent of the thread count.
+#include <future>
+#include <thread>
+
+int bad_thread() {
+    std::thread worker([] {});
+    auto pending = std::async([] { return 1; });
+    worker.join();
+    return pending.get();
+}

@@ -1,0 +1,54 @@
+// util::env_u64 — strict full-string parsing of environment knobs.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/env.hpp"
+
+namespace xrpl::util {
+namespace {
+
+constexpr const char* kVar = "XRPL_TEST_ENV_U64";
+
+class EnvU64Test : public ::testing::Test {
+protected:
+    void TearDown() override { ::unsetenv(kVar); }
+};
+
+TEST_F(EnvU64Test, UnsetFallsBack) {
+    ::unsetenv(kVar);
+    EXPECT_EQ(env_u64(kVar, 17), 17u);
+}
+
+TEST_F(EnvU64Test, ParsesPositiveInteger) {
+    ::setenv(kVar, "8", 1);
+    EXPECT_EQ(env_u64(kVar, 17), 8u);
+    ::setenv(kVar, "250000", 1);
+    EXPECT_EQ(env_u64(kVar, 17), 250'000u);
+}
+
+TEST_F(EnvU64Test, RejectsTrailingGarbage) {
+    ::setenv(kVar, "8 threads", 1);
+    EXPECT_EQ(env_u64(kVar, 17), 17u);
+    ::setenv(kVar, "0x10", 1);
+    EXPECT_EQ(env_u64(kVar, 17), 17u);
+}
+
+TEST_F(EnvU64Test, RejectsSignsZeroAndEmpty) {
+    ::setenv(kVar, "-3", 1);
+    EXPECT_EQ(env_u64(kVar, 17), 17u);
+    ::setenv(kVar, "+3", 1);
+    EXPECT_EQ(env_u64(kVar, 17), 17u);
+    ::setenv(kVar, "0", 1);
+    EXPECT_EQ(env_u64(kVar, 17), 17u);
+    ::setenv(kVar, "", 1);
+    EXPECT_EQ(env_u64(kVar, 17), 17u);
+}
+
+TEST_F(EnvU64Test, RejectsOverflow) {
+    ::setenv(kVar, "99999999999999999999999999", 1);
+    EXPECT_EQ(env_u64(kVar, 17), 17u);
+}
+
+}  // namespace
+}  // namespace xrpl::util

@@ -11,7 +11,11 @@ Rules (rule ids in brackets):
                         figure is reproducible from a seed.
   [no-naked-atoi]       atoi/atol/atoll — they ignore trailing garbage and
                         saturate silently; use std::from_chars (see
-                        bench::env_u64, the PR-1 lesson).
+                        util::env_u64, the PR-1 lesson).
+  [no-raw-thread]       std::thread/std::jthread/std::async anywhere outside
+                        src/exec — scans run on exec::ThreadPool, whose
+                        ordered chunk merge keeps every result independent
+                        of the thread count.
   [fingerprint-domain]  the first FingerprintHasher::mix() of each fold
                         group must carry a field domain tag (a `k*Domain`
                         constant or a precomputed `*word*` table) so
@@ -42,6 +46,7 @@ SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
 
 RAND_RE = re.compile(r"(?<![\w:.])(?:std::)?rand\s*\(")
 ATOI_RE = re.compile(r"(?<![\w:.])(?:std::)?(?:atoi|atol|atoll)\s*\(")
+THREAD_RE = re.compile(r"(?<![\w:])std\s*::\s*(?:thread|jthread|async)\b")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
 MIX_RE = re.compile(r"\.\s*mix\s*\(")
@@ -121,6 +126,7 @@ def strip_comments_and_strings(text):
 
 def check_content_rules(path, lines, in_src):
     rng_exempt = path.name in ("rng.hpp", "rng.cpp") and "util" in path.parts
+    thread_exempt = (REPO / "src" / "exec") in path.parents
     for lineno, line in enumerate(lines, 1):
         if not rng_exempt and RAND_RE.search(line):
             yield Violation(path, lineno, "no-rand",
@@ -129,7 +135,12 @@ def check_content_rules(path, lines, in_src):
         if ATOI_RE.search(line):
             yield Violation(path, lineno, "no-naked-atoi",
                             "atoi-family parse — use std::from_chars with "
-                            "full-string validation (cf. bench::env_u64)")
+                            "full-string validation (cf. util::env_u64)")
+        if not thread_exempt and THREAD_RE.search(line):
+            yield Violation(path, lineno, "no-raw-thread",
+                            "raw std::thread/std::async outside src/exec — "
+                            "run chunked scans on exec::ThreadPool so "
+                            "results stay thread-count independent")
     if path.suffix in HEADER_SUFFIXES:
         for lineno, line in enumerate(lines, 1):
             if USING_NAMESPACE_RE.search(line):
@@ -282,6 +293,7 @@ SELF_TEST_EXPECTATIONS = {
     "bad_header.hpp": {"pragma-once", "no-using-namespace"},
     "bad_fingerprint.cpp": {"fingerprint-domain"},
     "bad_includes.cpp": {"include-order"},
+    "bad_thread.cpp": {"no-raw-thread"},
     "good.cpp": set(),
 }
 
