@@ -19,7 +19,9 @@ int main() {
 
     std::cout << "(1) takeover sweep, December 2015 population, 5-member "
                  "UNL:\n";
-    consensus::ConsensusConfig config = consensus::two_week_config(0.02, 41);
+    const util::RngStream root(41);
+    consensus::ConsensusConfig config =
+        consensus::two_week_config(0.02, root.derive("takeover"));
     const auto sweep =
         consensus::takeover_sweep(consensus::december_2015(), config, 5);
     util::TextTable sweep_table(
@@ -39,7 +41,8 @@ int main() {
     policy.operating_cost_per_epoch = 400.0;
     policy.initial_validators = 5;
     policy.adoption_rate = 2.0;
-    const auto trajectory = consensus::simulate_reward_adoption(policy, 100, 7);
+    const auto trajectory =
+        consensus::simulate_reward_adoption(policy, 100, root.derive("reward"));
 
     util::TextTable reward_table({"epoch", "validators", "income/validator",
                                   "close rate if 8 busiest knocked out"});

@@ -13,6 +13,7 @@
 #include "consensus/monitor.hpp"
 #include "consensus/period_config.hpp"
 #include "consensus/rpca.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/textplot.hpp"
 
@@ -21,9 +22,9 @@ namespace {
 using namespace xrpl;
 
 void run_period(const consensus::PeriodSpec& period, double scale,
-                std::uint64_t seed) {
-    consensus::ConsensusSimulation sim(period.validators,
-                                       consensus::two_week_config(scale, seed));
+                const util::RngStream& rng_stream) {
+    consensus::ConsensusSimulation sim(
+        period.validators, consensus::two_week_config(scale, rng_stream));
     consensus::ValidationStream stream;
     consensus::ValidationMonitor monitor(sim.validators());
     monitor.attach(stream);
@@ -69,9 +70,13 @@ int main() {
     std::cout << "(scale: " << scale * 100
               << "% of the full two-week capture; counts scale linearly)\n\n";
 
-    std::uint64_t seed = 20151201;
+    // Per-period streams derived from one root: the periods stay
+    // independent however they are ordered or interleaved (no seed+i
+    // arithmetic to collide).
+    const util::RngStream root(20151201);
+    std::uint64_t index = 0;
     for (const consensus::PeriodSpec& period : consensus::all_periods()) {
-        run_period(period, scale, seed++);
+        run_period(period, scale, root.derive("period", index++));
     }
 
     bench::print_paper_note(

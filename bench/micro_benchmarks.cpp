@@ -72,7 +72,7 @@ void BM_Ablation_DoubleAdd(benchmark::State& state) {
 BENCHMARK(BM_Ablation_DoubleAdd);
 
 std::vector<ledger::TxRecord> make_records(std::size_t n) {
-    util::Rng rng(7);
+    util::Rng rng = util::RngStream(7).derive("records").rng();
     std::vector<ledger::TxRecord> records;
     records.reserve(n);
     std::int64_t now = 0;
@@ -195,7 +195,7 @@ struct PathWorld {
     ledger::AccountID user, merchant;
 
     PathWorld() {
-        util::Rng rng(11);
+        util::Rng rng = util::RngStream(11).derive("path-world").rng();
         std::vector<ledger::AccountID> gateways;
         for (int g = 0; g < 20; ++g) {
             const auto id = ledger::AccountID::from_seed("g" + std::to_string(g));

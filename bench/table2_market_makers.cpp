@@ -21,7 +21,7 @@ int main() {
 
     const std::uint64_t replay_count =
         bench::env_u64("XRPL_BENCH_REPLAY_PAYMENTS", 40'000);
-    util::Rng rng(777);
+    util::Rng rng = util::RngStream(777).derive("replay").rng();
     // As the paper does, replay the payments "submitted after the
     // snapshot and successfully delivered".
     const auto payments = datagen::make_delivered_replay_workload(

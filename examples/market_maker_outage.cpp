@@ -28,7 +28,7 @@ int main() {
     config.target_payments = 120'000;
     const datagen::GeneratedHistory history = datagen::generate_history(config);
 
-    util::Rng rng(99);
+    util::Rng rng = util::RngStream(99).derive("replay").rng();
     const auto payments = datagen::make_delivered_replay_workload(
         history.population, history.ledger, 10'000, 0.687, rng);
     std::cout << "replaying " << payments.size()

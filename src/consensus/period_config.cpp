@@ -166,7 +166,7 @@ std::vector<PeriodSpec> all_periods() {
     return {december_2015(), july_2016(), november_2016()};
 }
 
-ConsensusConfig two_week_config(double scale, std::uint64_t seed) {
+ConsensusConfig two_week_config(double scale, const util::RngStream& stream) {
     ConsensusConfig config;
     config.quorum = 0.80;
     config.round_interval_seconds = 4.8;
@@ -174,7 +174,9 @@ ConsensusConfig two_week_config(double scale, std::uint64_t seed) {
     const double rounds = 252'000.0 * std::clamp(scale, 0.0001, 1.0);
     config.rounds = static_cast<std::uint64_t>(rounds);
     config.start_time = util::from_calendar(2015, 12, 1);
-    config.seed = seed;
+    // ConsensusConfig stays trivially copyable: store the derivation
+    // key; the simulation rebuilds the stream from it.
+    config.seed = stream.key();
     return config;
 }
 

@@ -37,6 +37,11 @@ struct PeriodSpec {
 /// Consensus config for a two-week capture at the given scale
 /// (scale=1.0 reproduces the full ~252K rounds; benches default to a
 /// tenth for speed — counts shrink proportionally, shape is identical).
-[[nodiscard]] ConsensusConfig two_week_config(double scale, std::uint64_t seed);
+/// The simulation seeds from `stream` (conventionally
+/// root.derive("period", i)), so periods can run concurrently or
+/// reordered without their draw sequences colliding — unlike the old
+/// `seed + i` convention this replaces.
+[[nodiscard]] ConsensusConfig two_week_config(double scale,
+                                              const util::RngStream& stream);
 
 }  // namespace xrpl::consensus

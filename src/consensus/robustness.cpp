@@ -93,10 +93,10 @@ double close_probability_after_takeover(std::size_t validators,
     return std::min(probability, 1.0);
 }
 
-std::vector<RewardEpoch> simulate_reward_adoption(const RewardPolicy& policy,
-                                                  std::size_t epochs,
-                                                  std::uint64_t seed) {
-    util::Rng rng(seed);
+std::vector<RewardEpoch> simulate_reward_adoption(
+    const RewardPolicy& policy, std::size_t epochs,
+    const util::RngStream& stream) {
+    util::Rng rng = stream.rng();
     std::vector<RewardEpoch> trajectory;
     trajectory.reserve(epochs);
 

@@ -19,6 +19,7 @@
 
 #include "consensus/period_config.hpp"
 #include "consensus/rpca.hpp"
+#include "util/rng.hpp"
 
 namespace xrpl::consensus {
 
@@ -84,8 +85,10 @@ struct RewardEpoch {
     double close_rate_under_takeover_of_8 = 0.0;
 };
 
-/// Simulate `epochs` of validator-population dynamics under `policy`.
+/// Simulate `epochs` of validator-population dynamics under `policy`,
+/// drawing the adoption noise from `stream`.
 [[nodiscard]] std::vector<RewardEpoch> simulate_reward_adoption(
-    const RewardPolicy& policy, std::size_t epochs, std::uint64_t seed);
+    const RewardPolicy& policy, std::size_t epochs,
+    const util::RngStream& stream);
 
 }  // namespace xrpl::consensus

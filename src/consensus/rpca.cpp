@@ -64,7 +64,10 @@ RoundOutcome ConsensusSimulation::run_round(std::uint64_t round,
                                             std::vector<ledger::Hash256> tx_ids,
                                             ValidationStream& stream) {
     if (!rng_seeded_) {
-        rng_ = util::Rng(config_.seed);
+        // config_.seed is a derivation key (see two_week_config);
+        // materializing the stream's root generator draws the same
+        // sequence the plain seeding convention did.
+        rng_ = util::RngStream(config_.seed).rng();
         rng_seeded_ = true;
     }
     // A round number reused (or run backwards) would let one validator

@@ -86,7 +86,9 @@ private:
     ledger::LedgerHistory main_chain_;
     ledger::LedgerHistory testnet_chain_;
     std::size_t unl_size_ = 0;
-    util::Rng rng_{0};
+    // Placeholder generator; re-seeded from config_.seed (a stream
+    // key) on the first round.
+    util::Rng rng_ = util::RngStream(0).rng();
     bool rng_seeded_ = false;
     ConsensusStats cumulative_;
     // Last round run_round() saw; enforces its monotonicity contract

@@ -43,6 +43,14 @@ struct GeneratorConfig {
     double page_interval_seconds = 4.5;
     util::RippleTime start_time = util::from_calendar(2013, 1, 1);
 
+    /// Sharding grain for parallel generation: each slice of this many
+    /// payments runs on its own derived RNG stream against its own
+    /// clone of the population snapshot. The slice count —
+    /// ceil(target_payments / payments_per_slice) — depends only on
+    /// the config, never on XRPL_THREADS, so output is bit-identical
+    /// at any thread width (DESIGN.md §12).
+    std::uint64_t payments_per_slice = 50'000;
+
     // --- mix (fractions of base per-page payments) ----------------------
     double xrp_organic_fraction = 0.500;
     double ripple_spin_fraction = 0.030;   // ~700K of 23M

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "exec/parallel.hpp"
 #include "util/contract.hpp"
 
 namespace xrpl::datagen {
@@ -12,56 +13,185 @@ using ledger::Amount;
 using ledger::Currency;
 using paths::PaymentRequest;
 
-GeneratedHistory generate_history(const GeneratorConfig& config) {
-    GeneratedHistory history;
-    util::Rng rng(config.seed);
+namespace {
 
-    history.population = build_population(history.ledger, config, rng);
-    paths::PaymentEngine engine(history.ledger);
-    WorkloadGenerator workload(config, history.population, engine, rng);
+/// Everything one generation slice produces. Records carry SLICE-LOCAL
+/// close times (epoch 0); the merge rebases them onto the global
+/// timeline. Aggregates are pre-reduced per slice so the merge is a
+/// cheap order-independent sum — only the record stream and the
+/// per-currency amount samples are order-sensitive, and those merge
+/// strictly in slice order.
+struct SliceResult {
+    std::vector<ledger::TxRecord> records;
+    std::array<std::uint64_t, 8> category_counts{};
+    std::unordered_map<Currency, std::uint64_t> currency_counts;
+    std::unordered_map<Currency, std::vector<float>> amounts_by_currency;
+    std::vector<std::uint64_t> hop_histogram;
+    std::vector<std::uint64_t> parallel_histogram;
+    std::unordered_map<ledger::AccountID, std::uint64_t> intermediary_counts;
+    std::uint64_t multi_hop_payments = 0;
+    std::uint64_t pages = 0;
+    /// Slice-local close time of the last page (== slice duration).
+    std::int64_t duration_seconds = 0;
+    WorkloadStats stats;
+    std::vector<std::uint64_t> offer_placements;
+    std::uint64_t offers_placed_total = 0;
+    /// Populated only for the last slice (adopted as history.ledger);
+    /// earlier slices drop their clone on return to bound memory.
+    ledger::LedgerState final_ledger;
+};
 
-    history.payments.reserve(config.target_payments);
-    history.first_close = config.start_time;
+void add_histogram(std::vector<std::uint64_t>& into,
+                   const std::vector<std::uint64_t>& from) {
+    if (into.size() < from.size()) into.resize(from.size(), 0);
+    for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+}
+
+/// Run one slice against a private clone of the population snapshot,
+/// on streams derived from root/"slice"/index — a pure function of
+/// (config, base snapshot, slice index), whatever thread runs it.
+SliceResult run_slice(const GeneratorConfig& config,
+                      const Population& population,
+                      const ledger::LedgerState& base,
+                      const util::RngStream& root, std::size_t slice,
+                      std::uint64_t slice_target, bool keep_ledger) {
+    SliceResult out;
+    ledger::LedgerState ledger = base.clone();
+    paths::PaymentEngine engine(ledger);
+    const util::RngStream slice_stream =
+        root.derive("slice", static_cast<std::uint64_t>(slice));
+    // Only slice 0 may emit the history's single 44-hop payment.
+    WorkloadGenerator workload(config, population, engine,
+                               slice_stream.derive("workload"),
+                               /*emit_fortyfour=*/slice == 0);
+    util::Rng clock_rng = slice_stream.derive("clock").rng();
 
     auto sink = [&](const WorkloadOutcome& outcome) {
-        history.payments.push_back(outcome.record);
-        ++history.category_counts[static_cast<std::size_t>(outcome.category)];
+        out.records.push_back(outcome.record);
+        ++out.category_counts[static_cast<std::size_t>(outcome.category)];
 
-        ++history.currency_counts[outcome.record.currency];
-        history.amounts_by_currency[outcome.record.currency].push_back(
+        ++out.currency_counts[outcome.record.currency];
+        out.amounts_by_currency[outcome.record.currency].push_back(
             static_cast<float>(outcome.record.amount.to_double()));
 
         const ledger::TxResult& result = outcome.result;
         if (result.intermediate_hops >= 1) {
-            ++history.multi_hop_payments;
-            if (history.hop_histogram.size() <= result.intermediate_hops) {
-                history.hop_histogram.resize(result.intermediate_hops + 1, 0);
+            ++out.multi_hop_payments;
+            if (out.hop_histogram.size() <= result.intermediate_hops) {
+                out.hop_histogram.resize(result.intermediate_hops + 1, 0);
             }
-            ++history.hop_histogram[result.intermediate_hops];
-            if (history.parallel_histogram.size() <= result.parallel_paths) {
-                history.parallel_histogram.resize(result.parallel_paths + 1, 0);
+            ++out.hop_histogram[result.intermediate_hops];
+            if (out.parallel_histogram.size() <= result.parallel_paths) {
+                out.parallel_histogram.resize(result.parallel_paths + 1, 0);
             }
-            ++history.parallel_histogram[result.parallel_paths];
+            ++out.parallel_histogram[result.parallel_paths];
             // Fig 7 counts intermediaries over real traffic; the MTL
             // chains are the attacker's own sybil accounts, which the
             // paper's top-50 visibly excludes (48 equal-height sybils
             // would otherwise fill the whole plot).
             if (outcome.category != PaymentCategory::kMtlSpam) {
                 for (const ledger::AccountID& hop : result.intermediaries) {
-                    ++history.intermediary_counts[hop];
+                    ++out.intermediary_counts[hop];
                 }
             }
         }
     };
 
-    util::RippleTime clock = config.start_time;
-    while (history.payments.size() < config.target_payments) {
+    util::RippleTime clock{};  // slice-local epoch; rebased at merge
+    while (out.records.size() < slice_target) {
         clock.seconds += static_cast<std::int64_t>(
-            config.page_interval_seconds + rng.uniform(-0.5, 1.5));
+            config.page_interval_seconds + clock_rng.uniform(-0.5, 1.5));
         workload.emit_page(clock, sink);
-        ++history.pages;
+        ++out.pages;
     }
-    history.last_close = clock;
+    out.duration_seconds = clock.seconds;
+
+    out.stats = workload.stats();
+    out.offer_placements = workload.offer_placements();
+    out.offers_placed_total = workload.offers_placed_total();
+    if (keep_ledger) out.final_ledger = std::move(ledger);
+    return out;
+}
+
+}  // namespace
+
+GeneratedHistory generate_history(const GeneratorConfig& config) {
+    GeneratedHistory history;
+    const util::RngStream root(config.seed);
+
+    history.population =
+        build_population(history.ledger, config, root.derive("population"));
+
+    // --- stage 1: slice fan-out ---------------------------------------
+    // The slice count is a pure function of the config — NEVER of
+    // XRPL_THREADS — and every slice owns derived streams plus a
+    // private clone of the snapshot, so each SliceResult is
+    // bit-identical whatever thread (or order) computed it.
+    const std::uint64_t per_slice = std::max<std::uint64_t>(
+        std::uint64_t{1}, config.payments_per_slice);
+    const std::size_t num_slices = static_cast<std::size_t>(
+        (config.target_payments + per_slice - 1) / per_slice);
+
+    std::vector<SliceResult> slices(num_slices);
+    exec::parallel_for(num_slices, 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+            const std::uint64_t slice_target =
+                s + 1 == num_slices
+                    ? config.target_payments -
+                          per_slice * static_cast<std::uint64_t>(s)
+                    : per_slice;
+            slices[s] = run_slice(config, history.population, history.ledger,
+                                  root, s, slice_target, s + 1 == num_slices);
+        }
+    });
+
+    // --- stage 2: ordered merge ---------------------------------------
+    // Strictly in slice order: records are rebased onto the global
+    // timeline and interned into PaymentColumns sequentially (so the
+    // dictionary keeps first-seen order), amount samples append, and
+    // the pre-reduced aggregates sum.
+    history.payments.reserve(config.target_payments);
+    history.first_close = config.start_time;
+    std::int64_t offset = config.start_time.seconds;
+    for (SliceResult& slice : slices) {
+        for (ledger::TxRecord record : slice.records) {
+            record.time.seconds += offset;
+            history.payments.push_back(record);
+        }
+        offset += slice.duration_seconds;
+
+        for (std::size_t c = 0; c < slice.category_counts.size(); ++c) {
+            history.category_counts[c] += slice.category_counts[c];
+        }
+        for (const auto& [currency, count] : slice.currency_counts) {
+            history.currency_counts[currency] += count;
+        }
+        for (auto& [currency, amounts] : slice.amounts_by_currency) {
+            auto& into = history.amounts_by_currency[currency];
+            into.insert(into.end(), amounts.begin(), amounts.end());
+        }
+        add_histogram(history.hop_histogram, slice.hop_histogram);
+        add_histogram(history.parallel_histogram, slice.parallel_histogram);
+        for (const auto& [hop, count] : slice.intermediary_counts) {
+            history.intermediary_counts[hop] += count;
+        }
+        history.multi_hop_payments += slice.multi_hop_payments;
+        history.pages += slice.pages;
+
+        for (std::size_t c = 0; c < slice.stats.attempts.size(); ++c) {
+            history.workload_stats.attempts[c] += slice.stats.attempts[c];
+            history.workload_stats.failures[c] += slice.stats.failures[c];
+        }
+        if (history.offer_placements.size() < slice.offer_placements.size()) {
+            history.offer_placements.resize(slice.offer_placements.size(), 0);
+        }
+        for (std::size_t m = 0; m < slice.offer_placements.size(); ++m) {
+            history.offer_placements[m] += slice.offer_placements[m];
+        }
+        history.offers_placed_total += slice.offers_placed_total;
+    }
+    history.last_close = util::RippleTime{offset};
+    history.ledger = std::move(slices.back().final_ledger);
 
     XRPL_INVARIANT(history.payments.size() >= config.target_payments,
                    "generation must run until the payment target is met");
@@ -78,10 +208,6 @@ GeneratedHistory generate_history(const GeneratorConfig& config) {
     XRPL_INVARIANT(categorized == history.payments.size(),
                    "traffic categories must partition the payment history");
 #endif
-
-    history.workload_stats = workload.stats();
-    history.offer_placements = workload.offer_placements();
-    history.offers_placed_total = workload.offers_placed_total();
     return history;
 }
 

@@ -1,7 +1,12 @@
 // Full-history builder: the substitute for the paper's 500 GB ledger
 // download.
 //
-// Orchestrates population -> engine -> workload page loop, collecting
+// A two-stage pipeline on splittable RNG streams (DESIGN.md §12):
+// population builds the snapshot, then generation is SHARDED into
+// fixed payment-count slices that run as exec::parallel_for tasks —
+// each slice clones the snapshot, draws from streams derived from
+// root/"slice"/i, and its shard merges strictly in slice order — so
+// output is bit-identical for every XRPL_THREADS width. Collects
 // everything the study and the appendix figures consume: the compact
 // TxRecord rows (Fig 3), per-currency counts and amount samples
 // (Fig 4, Fig 5), hop and parallel-path histograms (Fig 6),
@@ -57,7 +62,10 @@ struct GeneratedHistory {
     std::uint64_t offers_placed_total = 0;
 };
 
-/// Generate a complete history. Deterministic in the config seed.
+/// Generate a complete history. Deterministic in the config seed
+/// alone: the same config yields byte-identical output at any
+/// XRPL_THREADS width (slicing is governed by
+/// GeneratorConfig::payments_per_slice, never by the thread count).
 [[nodiscard]] GeneratedHistory generate_history(const GeneratorConfig& config);
 
 /// Build the Table II replay workload against an existing population:

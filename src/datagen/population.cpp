@@ -93,8 +93,17 @@ named_gateways() {
 }  // namespace
 
 Population build_population(LedgerState& ledger, const GeneratorConfig& config,
-                            util::Rng& rng) {
+                            const util::RngStream& stream) {
     Population pop;
+
+    // One derived stream per section: the draw count of any section is
+    // free to change without perturbing the others (the spam wiring is
+    // draw-free and needs none).
+    util::Rng issuer_rng = stream.derive("issuers").rng();
+    util::Rng hub_rng = stream.derive("hubs").rng();
+    util::Rng maker_rng = stream.derive("makers").rng();
+    util::Rng merchant_rng = stream.derive("merchants").rng();
+    util::Rng user_rng = stream.derive("users").rng();
 
     // --- genesis: ACCOUNT_ZERO owns every XRP ------------------------
     pop.account_zero = AccountID::zero();
@@ -137,7 +146,7 @@ Population build_population(LedgerState& ledger, const GeneratorConfig& config,
         }
         while (issuers < min_issuers) {
             const std::size_t g = static_cast<std::size_t>(
-                rng.uniform_u64(0, config.num_gateways - 1));
+                issuer_rng.uniform_u64(0, config.num_gateways - 1));
             auto& list = pop.gateway_currencies[g];
             if (std::find(list.begin(), list.end(), info.code) == list.end()) {
                 list.push_back(info.code);
@@ -168,7 +177,7 @@ Population build_population(LedgerState& ledger, const GeneratorConfig& config,
             spawn(ledger, "hub:" + std::to_string(i), kXrpPerHub, false, true);
         pop.hubs.push_back(id);
         for (std::size_t g = 0; g < pop.gateways.size(); ++g) {
-            if (!rng.bernoulli(0.03)) continue;
+            if (!hub_rng.bernoulli(0.03)) continue;
             for (const Currency c : pop.gateway_currencies[g]) {
                 const double unit = usd_value(c);
                 deposit(ledger, pop.gateways[g], id, c, 1e5 / unit,
@@ -183,7 +192,7 @@ Population build_population(LedgerState& ledger, const GeneratorConfig& config,
             spawn(ledger, "mm:" + std::to_string(i), kXrpPerMaker, false, true);
         pop.market_makers.push_back(id);
         for (std::size_t g = 0; g < pop.gateways.size(); ++g) {
-            if (!rng.bernoulli(i < 10 ? 0.8 : 0.3)) continue;
+            if (!maker_rng.bernoulli(i < 10 ? 0.8 : 0.3)) continue;
             for (const Currency c : pop.gateway_currencies[g]) {
                 const double unit = usd_value(c);
                 deposit(ledger, pop.gateways[g], id, c, 5e6 / unit, 1e12 / unit);
@@ -200,9 +209,10 @@ Population build_population(LedgerState& ledger, const GeneratorConfig& config,
     const util::CategoricalSampler currency_sampler(weights);
 
     for (std::size_t i = 0; i < config.num_merchants; ++i) {
-        const Currency home = i < catalog.size()
-                                  ? catalog[i].code
-                                  : catalog[currency_sampler.sample(rng)].code;
+        const Currency home =
+            i < catalog.size()
+                ? catalog[i].code
+                : catalog[currency_sampler.sample(merchant_rng)].code;
         const AccountID id =
             spawn(ledger, "merchant:" + std::to_string(i), 100.0);
         pop.merchants.push_back(id);
@@ -212,10 +222,11 @@ Population build_population(LedgerState& ledger, const GeneratorConfig& config,
         // Trust a random 3-5 of the home currency's issuers with
         // generous limits (random, so user/merchant gateway sets only
         // partially overlap and longer hub routes appear).
-        const std::size_t count =
-            std::min<std::size_t>(issuers.size(),
-                                  3 + static_cast<std::size_t>(rng.uniform_u64(0, 2)));
-        for (const std::size_t k : sample_indices(rng, issuers.size(), count)) {
+        const std::size_t count = std::min<std::size_t>(
+            issuers.size(),
+            3 + static_cast<std::size_t>(merchant_rng.uniform_u64(0, 2)));
+        for (const std::size_t k :
+             sample_indices(merchant_rng, issuers.size(), count)) {
             const AccountID& gw = issuers[k];
             ledger.set_trust(id, gw, home,
                              IouAmount::from_double(1e13 / usd_value(home)));
@@ -224,11 +235,11 @@ Population build_population(LedgerState& ledger, const GeneratorConfig& config,
         // A third of merchants additionally trust a couple of hubs
         // directly (well-known liquidity providers), which is where
         // the two-intermediate routes of Fig 6(a) come from.
-        if (!pop.hubs.empty() && rng.bernoulli(0.35)) {
+        if (!pop.hubs.empty() && merchant_rng.bernoulli(0.35)) {
             const std::size_t hub_count =
-                1 + static_cast<std::size_t>(rng.uniform_u64(0, 1));
+                1 + static_cast<std::size_t>(merchant_rng.uniform_u64(0, 1));
             for (const std::size_t k :
-                 sample_indices(rng, pop.hubs.size(), hub_count)) {
+                 sample_indices(merchant_rng, pop.hubs.size(), hub_count)) {
                 const AccountID& hub = pop.hubs[k];
                 ledger.set_trust(id, hub, home,
                                  IouAmount::from_double(1e12 / usd_value(home)));
@@ -246,19 +257,19 @@ Population build_population(LedgerState& ledger, const GeneratorConfig& config,
 
     // --- users ------------------------------------------------------------
     for (std::size_t i = 0; i < config.num_users; ++i) {
-        const Currency home = catalog[currency_sampler.sample(rng)].code;
+        const Currency home = catalog[currency_sampler.sample(user_rng)].code;
         const AccountID id = spawn(ledger, "user:" + std::to_string(i), kXrpPerUser);
         pop.users.push_back(id);
 
         UserProfile profile;
         profile.home = home;
         const double unit = usd_value(home);
-        profile.typical_amount = (20.0 / unit) * rng.lognormal(0.0, 0.8);
+        profile.typical_amount = (20.0 / unit) * user_rng.lognormal(0.0, 0.8);
 
         const auto& issuers = pop.issuers_by_currency[home];
         const std::size_t deposit_count = std::min<std::size_t>(issuers.size(), 4);
         for (const std::size_t k :
-             sample_indices(rng, issuers.size(), deposit_count)) {
+             sample_indices(user_rng, issuers.size(), deposit_count)) {
             deposit(ledger, issuers[k], id, home,
                     config.deposit_scale * profile.typical_amount,
                     1e12 / unit);
@@ -268,10 +279,10 @@ Population build_population(LedgerState& ledger, const GeneratorConfig& config,
         const auto& local_merchants = merchants_by_currency[home];
         if (!local_merchants.empty()) {
             const std::size_t favorites =
-                1 + static_cast<std::size_t>(rng.uniform_u64(0, 5));
+                1 + static_cast<std::size_t>(user_rng.uniform_u64(0, 5));
             for (std::size_t k = 0; k < favorites; ++k) {
                 profile.favorite_merchants.push_back(local_merchants[
-                    rng.uniform_u64(0, local_merchants.size() - 1)]);
+                    user_rng.uniform_u64(0, local_merchants.size() - 1)]);
             }
         }
         pop.user_profiles.push_back(std::move(profile));

@@ -86,9 +86,12 @@ struct Population {
     }
 };
 
-/// Build the snapshot into `ledger`. Deterministic for a given config.
+/// Build the snapshot into `ledger`. Deterministic for a given config
+/// and stream: each section (issuer backfill, hubs, makers, merchants,
+/// users) draws from its own derived sub-stream, so adding draws to
+/// one section cannot shift any other.
 [[nodiscard]] Population build_population(ledger::LedgerState& ledger,
                                           const GeneratorConfig& config,
-                                          util::Rng& rng);
+                                          const util::RngStream& stream);
 
 }  // namespace xrpl::datagen

@@ -62,12 +62,14 @@ const char* category_name(PaymentCategory c) noexcept {
 }
 
 WorkloadGenerator::WorkloadGenerator(const GeneratorConfig& config,
-                                     Population& population,
-                                     paths::PaymentEngine& engine, util::Rng& rng)
+                                     const Population& population,
+                                     paths::PaymentEngine& engine,
+                                     const util::RngStream& stream,
+                                     bool emit_fortyfour)
     : config_(config),
       pop_(&population),
       engine_(&engine),
-      rng_(&rng),
+      rng_(stream.rng()),
       category_sampler_(category_weights(config)),
       maker_sampler_(population.market_makers.size(), 1.0),
       merchant_sampler_(std::max<std::size_t>(population.merchants.size(), 1), 1.0),
@@ -79,7 +81,8 @@ WorkloadGenerator::WorkloadGenerator(const GeneratorConfig& config,
           return util::CategoricalSampler(weights);
       }()),
       live_offers_(population.market_makers.size()),
-      offer_placements_(population.market_makers.size(), 0) {
+      offer_placements_(population.market_makers.size(), 0),
+      fortyfour_emitted_(!emit_fortyfour) {
     for (std::uint32_t i = 0; i < pop_->users.size(); ++i) {
         users_by_currency_[pop_->user_profiles[i].home].push_back(i);
     }
@@ -105,25 +108,25 @@ void WorkloadGenerator::emit_page(
     // the overall mean stays at payments_per_page.
     const double base_lambda = std::max(
         0.1, config_.payments_per_page - 3.0 * config_.burst_probability);
-    const std::uint32_t payments = poisson(*rng_, base_lambda);
+    const std::uint32_t payments = poisson(rng_, base_lambda);
     for (std::uint32_t i = 0; i < payments; ++i) {
         const auto category =
-            static_cast<PaymentCategory>(category_sampler_.sample(*rng_));
+            static_cast<PaymentCategory>(category_sampler_.sample(rng_));
         attempt(category, close_time, sink);
     }
-    if (rng_->bernoulli(config_.burst_probability)) {
+    if (rng_.bernoulli(config_.burst_probability)) {
         emit_burst(close_time, sink);
     }
 
     // Liquidity maintenance: hub operators replenish a drained
     // gateway line now and then (a real, recorded deposit payment).
-    if (rng_->bernoulli(0.60) && !pop_->hubs.empty()) {
+    if (rng_.bernoulli(0.60) && !pop_->hubs.empty()) {
         const ledger::AccountID& hub =
-            pop_->hubs[rng_->uniform_u64(0, pop_->hubs.size() - 1)];
+            pop_->hubs[rng_.uniform_u64(0, pop_->hubs.size() - 1)];
         const auto& lines = engine_->ledger().lines_of(hub);
         if (!lines.empty()) {
             const ledger::TrustLine* line =
-                lines[rng_->uniform_u64(0, lines.size() - 1)];
+                lines[rng_.uniform_u64(0, lines.size() - 1)];
             const ledger::AccountID& gateway = line->peer_of(hub);
             const Currency currency = line->key().currency;
             const double unit = usd_value(currency);
@@ -136,7 +139,7 @@ void WorkloadGenerator::emit_page(
                 request.destination = hub;
                 request.deliver = Amount::iou(
                     currency,
-                    (1e5 / unit - held) * rng_->uniform(0.9, 1.1));
+                    (1e5 / unit - held) * rng_.uniform(0.9, 1.1));
                 request.source_currency = currency;
                 WorkloadOutcome out;
                 out.category = PaymentCategory::kRefill;
@@ -152,21 +155,21 @@ void WorkloadGenerator::emit_page(
 void WorkloadGenerator::emit_burst(
     util::RippleTime now, const std::function<void(const WorkloadOutcome&)>& sink) {
     if (pop_->merchants.empty()) return;
-    const std::size_t merchant_index = merchant_sampler_.sample(*rng_);
+    const std::size_t merchant_index = merchant_sampler_.sample(rng_);
     const MerchantProfile& merchant = pop_->merchant_profiles[merchant_index];
     const auto it = users_by_currency_.find(merchant.home);
     if (it == users_by_currency_.end() || it->second.size() < 2) return;
 
-    const std::uint64_t size = rng_->uniform_u64(2, 4);
+    const std::uint64_t size = rng_.uniform_u64(2, 4);
     const double typical = 20.0 / usd_value(merchant.home);
     for (std::uint64_t i = 0; i < size; ++i) {
         const std::uint32_t user_index =
-            it->second[rng_->uniform_u64(0, it->second.size() - 1)];
+            it->second[rng_.uniform_u64(0, it->second.size() - 1)];
         PaymentRequest request;
         request.sender = pop_->users[user_index];
         request.destination = pop_->merchants[merchant_index];
         request.deliver =
-            Amount::iou(merchant.home, typical * rng_->lognormal(0.0, 1.8));
+            Amount::iou(merchant.home, typical * rng_.lognormal(0.0, 1.8));
         request.source_currency = merchant.home;
 
         WorkloadOutcome out;
@@ -183,10 +186,10 @@ void WorkloadGenerator::emit_burst(
 }
 
 void WorkloadGenerator::place_offers() {
-    const std::uint32_t count = poisson(*rng_, config_.offers_per_page);
+    const std::uint32_t count = poisson(rng_, config_.offers_per_page);
     ledger::LedgerState& state = engine_->ledger();
     for (std::uint32_t n = 0; n < count; ++n) {
-        const std::size_t maker_index = maker_sampler_.sample(*rng_);
+        const std::size_t maker_index = maker_sampler_.sample(rng_);
         const auto& currencies = maker_currencies_[maker_index];
         if (currencies.empty()) continue;
         const AccountID& maker = pop_->market_makers[maker_index];
@@ -195,9 +198,9 @@ void WorkloadGenerator::place_offers() {
         // bridge); the rest quote a direct pair the maker can serve.
         Currency pays;
         Currency gets;
-        if (rng_->bernoulli(0.8) || currencies.size() < 2) {
-            const Currency c = currencies[rng_->uniform_u64(0, currencies.size() - 1)];
-            if (rng_->bernoulli(0.5)) {
+        if (rng_.bernoulli(0.8) || currencies.size() < 2) {
+            const Currency c = currencies[rng_.uniform_u64(0, currencies.size() - 1)];
+            if (rng_.bernoulli(0.5)) {
                 pays = Currency::xrp();
                 gets = c;
             } else {
@@ -205,8 +208,8 @@ void WorkloadGenerator::place_offers() {
                 gets = Currency::xrp();
             }
         } else {
-            const std::size_t a = rng_->uniform_u64(0, currencies.size() - 1);
-            std::size_t b = rng_->uniform_u64(0, currencies.size() - 2);
+            const std::size_t a = rng_.uniform_u64(0, currencies.size() - 1);
+            std::size_t b = rng_.uniform_u64(0, currencies.size() - 2);
             if (b >= a) ++b;
             pays = currencies[a];
             gets = currencies[b];
@@ -214,9 +217,9 @@ void WorkloadGenerator::place_offers() {
 
         // Rate from USD values, with a small maker spread.
         const double fair = usd_value(gets) / usd_value(pays);
-        const double rate = fair * rng_->uniform(1.002, 1.03);
+        const double rate = fair * rng_.uniform(1.002, 1.03);
         const double gets_amount =
-            (2e5 / usd_value(gets)) * rng_->lognormal(0.0, 0.7);
+            (2e5 / usd_value(gets)) * rng_.lognormal(0.0, 0.7);
         const double pays_amount = gets_amount * rate;
 
         const std::uint64_t id = state.place_offer(
@@ -260,34 +263,34 @@ void WorkloadGenerator::attempt(
 bool WorkloadGenerator::do_xrp_organic(util::RippleTime now, WorkloadOutcome& out) {
     PaymentRequest request;
     double draw;
-    if (rng_->bernoulli(config_.xrp_whale_fraction)) {
+    if (rng_.bernoulli(config_.xrp_whale_fraction)) {
         // Whale-sized treasury moves between Market Makers and hubs:
         // the far tail of Fig 5's global amount distribution.
-        request.sender = pop_->market_makers[rng_->uniform_u64(
+        request.sender = pop_->market_makers[rng_.uniform_u64(
             0, pop_->market_makers.size() - 1)];
-        request.destination = rng_->bernoulli(0.5)
-                                  ? pop_->market_makers[rng_->uniform_u64(
+        request.destination = rng_.bernoulli(0.5)
+                                  ? pop_->market_makers[rng_.uniform_u64(
                                         0, pop_->market_makers.size() - 1)]
-                                  : pop_->hubs[rng_->uniform_u64(
+                                  : pop_->hubs[rng_.uniform_u64(
                                         0, pop_->hubs.size() - 1)];
         if (request.destination == request.sender) return false;
-        draw = rng_->lognormal(std::log(5e7), 2.5);
+        draw = rng_.lognormal(std::log(5e7), 2.5);
     } else {
-        const std::size_t from = rng_->uniform_u64(0, pop_->users.size() - 1);
-        std::size_t to = rng_->uniform_u64(0, pop_->users.size() - 1);
+        const std::size_t from = rng_.uniform_u64(0, pop_->users.size() - 1);
+        std::size_t to = rng_.uniform_u64(0, pop_->users.size() - 1);
         if (to == from) to = (to + 1) % pop_->users.size();
         request.sender = pop_->users[from];
-        request.destination = rng_->bernoulli(0.15) && !pop_->merchants.empty()
-                                  ? pop_->merchants[merchant_sampler_.sample(*rng_)]
+        request.destination = rng_.bernoulli(0.15) && !pop_->merchants.empty()
+                                  ? pop_->merchants[merchant_sampler_.sample(rng_)]
                                   : pop_->users[to];
-        draw = rng_->lognormal(std::log(8e4), 2.2);
+        draw = rng_.lognormal(std::log(8e4), 2.2);
     }
 
     // Heavy-tailed, but nobody sends more XRP than they own. The cap
     // is jittered so clamped payments don't pile on one exact amount.
     const double balance =
         engine_->ledger().account(request.sender)->balance.to_xrp();
-    const double amount = std::min(draw, rng_->uniform(0.4, 0.8) * balance);
+    const double amount = std::min(draw, rng_.uniform(0.4, 0.8) * balance);
     if (amount < 1e-6) return false;
     request.deliver = Amount::xrp(amount);
     request.source_currency = Currency::xrp();
@@ -300,11 +303,11 @@ bool WorkloadGenerator::do_xrp_organic(util::RippleTime now, WorkloadOutcome& ou
 bool WorkloadGenerator::do_ripple_spin(util::RippleTime now, WorkloadOutcome& out) {
     PaymentRequest request;
     request.sender =
-        pop_->users[rng_->uniform_u64(0, pop_->users.size() - 1)];
+        pop_->users[rng_.uniform_u64(0, pop_->users.size() - 1)];
     request.destination = pop_->ripple_spin;
     // Gambling bets: small, round-ish XRP amounts.
     static constexpr double kBets[] = {1, 2, 5, 10, 20, 25, 50, 100};
-    request.deliver = Amount::xrp(kBets[rng_->uniform_u64(0, 7)]);
+    request.deliver = Amount::xrp(kBets[rng_.uniform_u64(0, 7)]);
     request.source_currency = Currency::xrp();
 
     out.result = engine_->execute(request);
@@ -314,7 +317,7 @@ bool WorkloadGenerator::do_ripple_spin(util::RippleTime now, WorkloadOutcome& ou
 
 bool WorkloadGenerator::do_account_zero(util::RippleTime now, WorkloadOutcome& out) {
     const AccountID& spammer =
-        pop_->zero_spammers[rng_->uniform_u64(0, pop_->zero_spammers.size() - 1)];
+        pop_->zero_spammers[rng_.uniform_u64(0, pop_->zero_spammers.size() - 1)];
     PaymentRequest request;
     // "Repeatedly send back-and-forth to their accounts small amounts
     // of XRPs": the zero account's secret key is public.
@@ -326,7 +329,7 @@ bool WorkloadGenerator::do_account_zero(util::RippleTime now, WorkloadOutcome& o
         request.destination = spammer;
     }
     zero_spam_outbound_ = !zero_spam_outbound_;
-    request.deliver = Amount::xrp(rng_->uniform(1.0, 10.0));
+    request.deliver = Amount::xrp(rng_.uniform(1.0, 10.0));
     request.source_currency = Currency::xrp();
 
     out.result = engine_->execute(request);
@@ -354,7 +357,7 @@ bool WorkloadGenerator::do_mtl_spam(util::RippleTime now, WorkloadOutcome& out) 
     // Machine-crafted round amounts around 1e9 (a multiple of 1e7:
     // spam scripts do not randomize decimals).
     const double amount =
-        1e7 * std::floor(100.0 * rng_->lognormal(0.0, 0.25) + 0.5);
+        1e7 * std::floor(100.0 * rng_.lognormal(0.0, 0.25) + 0.5);
     request.deliver = Amount::iou(cur("MTL"), amount);
     request.source_currency = request.deliver.currency;
 
@@ -366,17 +369,17 @@ bool WorkloadGenerator::do_mtl_spam(util::RippleTime now, WorkloadOutcome& out) 
 bool WorkloadGenerator::do_cck_spam(util::RippleTime now, WorkloadOutcome& out) {
     PaymentRequest request;
     request.sender =
-        pop_->cck_spammers[rng_->uniform_u64(0, pop_->cck_spammers.size() - 1)];
+        pop_->cck_spammers[rng_.uniform_u64(0, pop_->cck_spammers.size() - 1)];
     request.destination =
-        pop_->cck_targets[rng_->uniform_u64(0, pop_->cck_targets.size() - 1)];
+        pop_->cck_targets[rng_.uniform_u64(0, pop_->cck_targets.size() - 1)];
     // Micro-transactions, "a survival function similar to the BTC".
     request.deliver =
-        Amount::iou(cur("CCK"), 0.03 * rng_->lognormal(0.0, 1.6));
+        Amount::iou(cur("CCK"), 0.03 * rng_.lognormal(0.0, 1.6));
     request.source_currency = request.deliver.currency;
 
     // Explicitly railed through one of the two hyperactive accounts.
     const ledger::AccountID& rail =
-        pop_->cck_rails[rng_->uniform_u64(0, pop_->cck_rails.size() - 1)];
+        pop_->cck_rails[rng_.uniform_u64(0, pop_->cck_rails.size() - 1)];
     const std::vector<std::vector<ledger::AccountID>> paths = {
         {request.sender, rail, request.destination}};
     out.result = engine_->execute_along(request, paths);
@@ -413,7 +416,7 @@ void WorkloadGenerator::refill_user(
         // Jitter the top-up: simultaneous refills from two gateways
         // must not produce byte-identical amounts.
         const double top_up =
-            (target - caps[i]) * rng_->uniform(0.92, 1.15);
+            (target - caps[i]) * rng_.uniform(0.92, 1.15);
         request.deliver = Amount::iou(profile.home, top_up);
         request.source_currency = profile.home;
         WorkloadOutcome out;
@@ -428,14 +431,14 @@ void WorkloadGenerator::refill_user(
 bool WorkloadGenerator::do_iou_retail(
     util::RippleTime now, WorkloadOutcome& out,
     const std::function<void(const WorkloadOutcome&)>& sink) {
-    const std::size_t user_index = rng_->uniform_u64(0, pop_->users.size() - 1);
+    const std::size_t user_index = rng_.uniform_u64(0, pop_->users.size() - 1);
     const UserProfile& profile = pop_->user_profiles[user_index];
     if (profile.favorite_merchants.empty() || profile.deposit_gateways.empty()) {
         return false;
     }
 
     const std::uint32_t merchant_index =
-        profile.favorite_merchants[rng_->uniform_u64(
+        profile.favorite_merchants[rng_.uniform_u64(
             0, profile.favorite_merchants.size() - 1)];
 
     // Parallel-path split target, drawn deliberately high: the routes
@@ -446,7 +449,7 @@ bool WorkloadGenerator::do_iou_retail(
     // real Ripple clients do), spreading the amount evenly over the
     // user's gateways instead of draining lines one by one.
     static constexpr double kSplitWeights[] = {0.10, 0.17, 0.16, 0.57};
-    double draw = rng_->uniform01();
+    double draw = rng_.uniform01();
     std::size_t split = 1;
     for (const double w : kSplitWeights) {
         if (draw < w) break;
@@ -455,7 +458,7 @@ bool WorkloadGenerator::do_iou_retail(
     }
     split = std::min(split, std::size_t{4});
 
-    const double amount = profile.typical_amount * rng_->lognormal(0.0, 1.0);
+    const double amount = profile.typical_amount * rng_.lognormal(0.0, 1.0);
     if (amount <= 0.0) return false;
 
     PaymentRequest request;
@@ -530,7 +533,7 @@ bool WorkloadGenerator::do_iou_retail(
         // keeps the search cheap and spreads the load.
         std::vector<ledger::AccountID> bridges = pop_->hubs;
         for (int i = 0; i < 8 && !pop_->market_makers.empty(); ++i) {
-            bridges.push_back(pop_->market_makers[rng_->uniform_u64(
+            bridges.push_back(pop_->market_makers[rng_.uniform_u64(
                 0, pop_->market_makers.size() - 1)]);
         }
 
@@ -590,11 +593,11 @@ bool WorkloadGenerator::do_iou_retail(
 
 bool WorkloadGenerator::do_cross_currency(util::RippleTime now,
                                           WorkloadOutcome& out) {
-    const std::size_t user_index = rng_->uniform_u64(0, pop_->users.size() - 1);
+    const std::size_t user_index = rng_.uniform_u64(0, pop_->users.size() - 1);
     const UserProfile& profile = pop_->user_profiles[user_index];
     if (pop_->merchants.empty()) return false;
 
-    const std::size_t merchant_index = merchant_sampler_.sample(*rng_);
+    const std::size_t merchant_index = merchant_sampler_.sample(rng_);
     const MerchantProfile& merchant = pop_->merchant_profiles[merchant_index];
     if (merchant.home == profile.home) return false;  // re-drawn next time
 
@@ -602,7 +605,7 @@ bool WorkloadGenerator::do_cross_currency(util::RippleTime now,
     request.sender = pop_->users[user_index];
     request.destination = pop_->merchants[merchant_index];
     const double amount =
-        (20.0 / usd_value(merchant.home)) * rng_->lognormal(0.0, 1.0);
+        (20.0 / usd_value(merchant.home)) * rng_.lognormal(0.0, 1.0);
     request.deliver = Amount::iou(merchant.home, amount);
     request.source_currency = profile.home;
 

@@ -63,8 +63,13 @@ struct WorkloadStats {
 
 class WorkloadGenerator {
 public:
-    WorkloadGenerator(const GeneratorConfig& config, Population& population,
-                      paths::PaymentEngine& engine, util::Rng& rng);
+    /// `stream` is the generator's private RNG stream (it owns the
+    /// materialized generator, so sibling draw counts cannot shift its
+    /// sequence). `emit_fortyfour` gates the history's single 44-hop
+    /// payment: in sharded generation only slice 0 may emit it.
+    WorkloadGenerator(const GeneratorConfig& config, const Population& population,
+                      paths::PaymentEngine& engine,
+                      const util::RngStream& stream, bool emit_fortyfour = true);
 
     /// Generate and execute one page worth of payments; every
     /// successful payment is passed to `sink`.
@@ -110,9 +115,9 @@ private:
     [[nodiscard]] std::vector<double> user_capacities(std::size_t user_index) const;
 
     GeneratorConfig config_;  // stored by value: callers may pass temporaries
-    Population* pop_;
+    const Population* pop_;
     paths::PaymentEngine* engine_;
-    util::Rng* rng_;
+    util::Rng rng_;
     WorkloadStats stats_;
 
     util::CategoricalSampler category_sampler_;
@@ -135,7 +140,7 @@ private:
     std::uint64_t offers_placed_total_ = 0;
 
     bool zero_spam_outbound_ = true;  // ping-pong direction
-    bool fortyfour_emitted_ = false;  // the single 44-hop payment
+    bool fortyfour_emitted_;          // the single 44-hop payment
 };
 
 }  // namespace xrpl::datagen

@@ -8,12 +8,29 @@
 namespace xrpl::util {
 
 namespace {
-std::uint64_t splitmix64(std::uint64_t& x) noexcept {
-    x += 0x9e3779b97f4a7c15ULL;
-    std::uint64_t z = x;
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+/// The splitmix64 finalizer: a bijective avalanche over u64.
+constexpr std::uint64_t fmix64(std::uint64_t z) noexcept {
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
+}
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += kGolden;
+    return fmix64(x);
+}
+
+/// FNV-1a over the label bytes; the label is a tree-edge name, so a
+/// cheap well-mixed hash is plenty (fmix64 avalanches it afterwards).
+constexpr std::uint64_t label_hash(std::string_view label) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : label) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
 }
 }  // namespace
 
@@ -64,15 +81,26 @@ bool Rng::bernoulli(double p) noexcept {
     return uniform01() < p;
 }
 
+namespace {
+/// Uniform double in (0, 1] from one raw draw: (next >> 11) + 1 spans
+/// [1, 2^53], so log() is always finite and the draw count is fixed —
+/// a rejection loop here would make the per-call draw count depend on
+/// the value stream, breaking stream-split reproducibility.
+double uniform01_open(std::uint64_t raw) noexcept {
+    return static_cast<double>((raw >> 11) + 1) * 0x1.0p-53;
+}
+}  // namespace
+
 double Rng::exponential(double mean) noexcept {
-    double u = uniform01();
-    while (u <= 0.0) u = uniform01();
-    return -mean * std::log(u);
+    return -mean * std::log(uniform01_open(next()));
 }
 
 double Rng::normal(double mu, double sigma) noexcept {
-    double u1 = uniform01();
-    while (u1 <= 0.0) u1 = uniform01();
+    // Box-Muller, cosine branch only: exactly two raw draws per call.
+    // No spare-value cache — the sine branch would be per-call hidden
+    // state that desynchronizes split streams (see test_rng's
+    // NormalConsumesExactlyTwoDraws regression).
+    const double u1 = uniform01_open(next());
     const double u2 = uniform01();
     const double z = std::sqrt(-2.0 * std::log(u1)) *
                      std::cos(2.0 * std::numbers::pi * u2);
@@ -84,12 +112,24 @@ double Rng::lognormal(double mu, double sigma) noexcept {
 }
 
 double Rng::pareto(double x_min, double alpha) noexcept {
-    double u = uniform01();
-    while (u <= 0.0) u = uniform01();
-    return x_min / std::pow(u, 1.0 / alpha);
+    return x_min / std::pow(uniform01_open(next()), 1.0 / alpha);
 }
 
 Rng Rng::fork() noexcept { return Rng(next()); }
+
+RngStream RngStream::derive(std::string_view label,
+                            std::uint64_t index) const noexcept {
+    // Three finalizer rounds, absorbing one path component each:
+    // advance off the parent key, fold in the edge label, fold in the
+    // edge index. fmix64 is bijective, so distinct (key, label, index)
+    // triples cannot systematically collide, and sequential indices
+    // land avalanche-distance apart in the seed space.
+    std::uint64_t k = fmix64(key_ + kGolden);
+    k = fmix64(k ^ label_hash(label));
+    k = fmix64(k ^ (index + kGolden));
+    RngStream child(k);
+    return child;
+}
 
 ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
     cdf_.resize(n);

@@ -4,11 +4,23 @@
 // workload generators need (uniform, bernoulli, exponential,
 // lognormal, pareto, zipf, categorical). Every experiment in this
 // repository takes a seed, so bench output is bit-stable across runs.
+//
+// RngStream is the splittable layer on top: a node in a key-derivation
+// tree rooted at the experiment seed. Any entity — an account, a
+// ledger-time slice, a consensus period, a spam campaign — derives its
+// own stream by (label, index) and owns an independent generator,
+// instead of owning a position in one global draw sequence. That is
+// what lets sharded history generation run slices concurrently and
+// still produce bit-identical output at any thread count (DESIGN.md
+// §12). Every distribution consumes a FIXED number of raw draws per
+// call (uniform_u64 being the one documented exception), so no hidden
+// per-call state can leak across a stream split.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 namespace xrpl::util {
@@ -38,23 +50,72 @@ public:
     /// True with probability p (clamped to [0,1]).
     bool bernoulli(double p) noexcept;
 
-    /// Exponential with the given mean (mean > 0).
+    /// Exponential with the given mean (mean > 0). One raw draw.
     double exponential(double mean) noexcept;
 
-    /// Standard normal via Box-Muller.
+    /// Normal via Box-Muller. Exactly two raw draws per call, never
+    /// fewer (no rejection loop) and never more (no cached spare):
+    /// stream splitting relies on every call consuming a fixed,
+    /// state-free draw count.
     double normal(double mu, double sigma) noexcept;
 
     /// Log-normal: exp(normal(mu, sigma)).
     double lognormal(double mu, double sigma) noexcept;
 
-    /// Pareto with scale x_min > 0 and shape alpha > 0.
+    /// Pareto with scale x_min > 0 and shape alpha > 0. One raw draw.
     double pareto(double x_min, double alpha) noexcept;
 
     /// Fork a new, independent generator (for parallel sub-streams).
+    /// Prefer RngStream::derive for anything that must stay stable
+    /// when sibling draw counts change.
     Rng fork() noexcept;
 
 private:
     std::array<std::uint64_t, 4> state_;
+};
+
+/// A node in the seed-derivation tree: splitmix64-style key derivation
+/// over the xoshiro256++ seed space.
+///
+/// The root stream is the experiment seed; every child is addressed by
+/// a (label, index) edge, e.g.
+///
+///   RngStream root(config.seed);
+///   Rng users  = root.derive("population").derive("users").rng();
+///   Rng slice7 = root.derive("slice", 7).derive("workload").rng();
+///
+/// Two different paths through the tree yield statistically
+/// independent, non-overlapping generators, and a node's key depends
+/// only on its path — never on how many draws (or sibling derivations)
+/// happened elsewhere. `derive(label)` is shorthand for
+/// `derive(label, 0)`.
+///
+/// RngStream is the ONLY sanctioned way to mint generators outside
+/// src/util (lint rule [no-adhoc-rng]): ad-hoc `Rng(seed + i)`
+/// arithmetic collides the moment two call sites pick overlapping
+/// offsets, while derived keys cannot.
+class RngStream {
+public:
+    /// The root of a derivation tree. `RngStream(s).rng()` draws the
+    /// same sequence as `Rng(s)`, so roots are drop-in replacements
+    /// for the pre-stream seeding convention.
+    explicit RngStream(std::uint64_t root_seed) noexcept : key_(root_seed) {}
+
+    /// The child stream addressed by (label, index).
+    [[nodiscard]] RngStream derive(std::string_view label,
+                                   std::uint64_t index = 0) const noexcept;
+
+    /// Materialize the generator at this node. Repeated calls return
+    /// identical generators; the stream itself is immutable.
+    [[nodiscard]] Rng rng() const noexcept { return Rng(key_); }
+
+    /// The derivation key (a root seed for Rng). Stored in configs
+    /// that must stay trivially copyable (e.g. ConsensusConfig::seed);
+    /// rebuild the stream with RngStream(key()).
+    [[nodiscard]] std::uint64_t key() const noexcept { return key_; }
+
+private:
+    std::uint64_t key_;
 };
 
 /// Zipf(α) sampler over {0, 1, ..., n-1} with precomputed CDF.

@@ -261,9 +261,10 @@ TEST(PeriodConfigTest, NineSharedActiveContributors) {
 }
 
 TEST(PeriodConfigTest, TwoWeekConfigScales) {
-    const ConsensusConfig full = two_week_config(1.0, 1);
+    const util::RngStream stream(1);
+    const ConsensusConfig full = two_week_config(1.0, stream);
     EXPECT_EQ(full.rounds, 252'000u);
-    const ConsensusConfig tenth = two_week_config(0.1, 1);
+    const ConsensusConfig tenth = two_week_config(0.1, stream);
     EXPECT_EQ(tenth.rounds, 25'200u);
     EXPECT_DOUBLE_EQ(tenth.quorum, 0.80);
 }

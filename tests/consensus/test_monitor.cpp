@@ -97,7 +97,8 @@ TEST(MonitorTest, ReportSortedByLabel) {
 TEST(MonitorTest, EndToEndWithSimulation) {
     // Full integration: the December 2015 population at tiny scale.
     const PeriodSpec period = december_2015();
-    ConsensusSimulation sim(period.validators, two_week_config(0.004, 11));
+    ConsensusSimulation sim(period.validators,
+                            two_week_config(0.004, util::RngStream(11)));
     ValidationStream stream;
     ValidationMonitor monitor(sim.validators());
     monitor.attach(stream);
@@ -141,7 +142,8 @@ TEST(MonitorTest, EndToEndWithSimulation) {
 
 TEST(MonitorTest, ActiveCountFindsTheActiveSubset) {
     const PeriodSpec period = december_2015();
-    ConsensusSimulation sim(period.validators, two_week_config(0.004, 13));
+    ConsensusSimulation sim(period.validators,
+                            two_week_config(0.004, util::RngStream(13)));
     ValidationStream stream;
     ValidationMonitor monitor(sim.validators());
     monitor.attach(stream);

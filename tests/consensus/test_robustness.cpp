@@ -76,7 +76,8 @@ TEST(RewardTest, ProfitGrowsThePopulation) {
     policy.reward_per_epoch = 10'000.0;     // generous tax pool
     policy.operating_cost_per_epoch = 400.0;
     policy.initial_validators = 5;
-    const auto trajectory = simulate_reward_adoption(policy, 40, 1);
+    const auto trajectory =
+        simulate_reward_adoption(policy, 40, util::RngStream(1));
     ASSERT_EQ(trajectory.size(), 40u);
     EXPECT_EQ(trajectory.front().validators, 5u);
     EXPECT_GT(trajectory.back().validators, 15u);
@@ -92,7 +93,8 @@ TEST(RewardTest, PopulationStabilizesNearBreakEven) {
     policy.reward_per_epoch = 4'000.0;
     policy.operating_cost_per_epoch = 400.0;
     policy.initial_validators = 5;
-    const auto trajectory = simulate_reward_adoption(policy, 200, 2);
+    const auto trajectory =
+        simulate_reward_adoption(policy, 200, util::RngStream(2));
     // Income per validator = 4000*5/n; break-even at n = 50.
     const std::size_t final_count = trajectory.back().validators;
     EXPECT_GT(final_count, 30u);
@@ -106,7 +108,8 @@ TEST(RewardTest, NoRewardNoGrowth) {
     policy.reward_per_epoch = 100.0;  // below cost from the start
     policy.operating_cost_per_epoch = 400.0;
     policy.initial_validators = 5;
-    const auto trajectory = simulate_reward_adoption(policy, 50, 3);
+    const auto trajectory =
+        simulate_reward_adoption(policy, 50, util::RngStream(3));
     // The original core never leaves; nobody joins.
     for (const RewardEpoch& epoch : trajectory) {
         EXPECT_EQ(epoch.validators, 5u);
@@ -115,8 +118,8 @@ TEST(RewardTest, NoRewardNoGrowth) {
 
 TEST(RewardTest, DeterministicForSeed) {
     RewardPolicy policy;
-    const auto a = simulate_reward_adoption(policy, 60, 9);
-    const auto b = simulate_reward_adoption(policy, 60, 9);
+    const auto a = simulate_reward_adoption(policy, 60, util::RngStream(9));
+    const auto b = simulate_reward_adoption(policy, 60, util::RngStream(9));
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) {
         EXPECT_EQ(a[i].validators, b[i].validators);

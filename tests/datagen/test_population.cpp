@@ -19,8 +19,8 @@ GeneratorConfig small_config() {
 class PopulationTest : public ::testing::Test {
 protected:
     void SetUp() override {
-        util::Rng rng(small_config().seed);
-        pop_ = build_population(ledger_, small_config(), rng);
+        const util::RngStream stream(small_config().seed);
+        pop_ = build_population(ledger_, small_config(), stream);
     }
 
     ledger::LedgerState ledger_;
@@ -130,8 +130,8 @@ TEST_F(PopulationTest, AccountZeroIsTheZeroAccount) {
 
 TEST_F(PopulationTest, DeterministicForSameSeed) {
     ledger::LedgerState other_ledger;
-    util::Rng rng(small_config().seed);
-    const Population other = build_population(other_ledger, small_config(), rng);
+    const util::RngStream stream(small_config().seed);
+    const Population other = build_population(other_ledger, small_config(), stream);
     EXPECT_EQ(other.users, pop_.users);
     EXPECT_EQ(other.gateways, pop_.gateways);
     EXPECT_EQ(other_ledger.trustline_count(), ledger_.trustline_count());

@@ -13,8 +13,7 @@ Population tiny_population(ledger::LedgerState& state) {
     config.num_market_makers = 10;
     config.num_merchants = 30;
     config.num_hubs = 5;
-    util::Rng rng(config.seed);
-    return build_population(state, config, rng);
+    return build_population(state, config, util::RngStream(config.seed));
 }
 
 ledger::TxRecord base_record() {

@@ -25,11 +25,12 @@ GeneratorConfig workload_config() {
 class WorkloadTest : public ::testing::Test {
 protected:
     void SetUp() override {
-        rng_ = std::make_unique<util::Rng>(workload_config().seed);
-        population_ = build_population(ledger_, workload_config(), *rng_);
+        const util::RngStream root(workload_config().seed);
+        population_ =
+            build_population(ledger_, workload_config(), root.derive("population"));
         engine_ = std::make_unique<paths::PaymentEngine>(ledger_);
         generator_ = std::make_unique<WorkloadGenerator>(
-            workload_config(), population_, *engine_, *rng_);
+            workload_config(), population_, *engine_, root.derive("workload"));
     }
 
     std::vector<WorkloadOutcome> run_pages(std::size_t pages) {
@@ -45,7 +46,6 @@ protected:
 
     ledger::LedgerState ledger_;
     Population population_;
-    std::unique_ptr<util::Rng> rng_;
     std::unique_ptr<paths::PaymentEngine> engine_;
     std::unique_ptr<WorkloadGenerator> generator_;
 };

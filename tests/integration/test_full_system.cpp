@@ -46,7 +46,7 @@ protected:
 
 TEST_F(FullSystemTest, SealMonitorAndAttack) {
     node::NodeConfig config;
-    config.consensus = consensus::two_week_config(0.001, 99);
+    config.consensus = consensus::two_week_config(0.001, util::RngStream(99));
     config.max_txs_per_page = 8;
     node::Node node(state_, consensus::december_2015().validators, config);
 

@@ -1,0 +1,28 @@
+// Lint fixture: ad-hoc util::Rng constructions that bypass the
+// RngStream derivation tree. Only the marked lines may fire — the
+// sanctioned forms below them prove the rule doesn't cry wolf.
+#include "util/rng.hpp"
+
+namespace fixture {
+
+inline std::uint64_t bad_draws() {
+    util::Rng adhoc(42);   // fires: seeded out of thin air
+    util::Rng braced{43};  // fires: brace form
+    std::uint64_t sum = adhoc.next() + braced.next();
+    sum += util::Rng(44).next();  // fires: unnamed temporary
+    return sum;
+}
+
+inline std::uint64_t sanctioned_draws(const util::RngStream& stream,
+                                      util::Rng& shared) {
+    util::Rng derived = stream.derive("fixture").rng();
+    util::Rng annotated(7);  // rng-root — deliberate tree root
+    return derived.next() + shared.next() + annotated.next();
+}
+
+struct Holder {
+    util::Rng rng_ = util::RngStream(0).rng();
+    util::Rng* borrowed_ = nullptr;
+};
+
+}  // namespace fixture

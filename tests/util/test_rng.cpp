@@ -115,6 +115,125 @@ TEST(RngTest, ForkProducesIndependentStream) {
     EXPECT_LT(equal, 3);
 }
 
+// Regression for the Box-Muller spare-value hazard: a cached second
+// draw (or a rejection loop) would make the raw draw count per call
+// value-dependent, desynchronizing split streams. `normal` must
+// consume EXACTLY two raw draws, every call.
+TEST(RngTest, NormalConsumesExactlyTwoDraws) {
+    Rng a(61);
+    Rng b(61);
+    for (int i = 0; i < 10'000; ++i) {
+        (void)a.normal(0.0, 1.0);
+        b.next();
+        b.next();
+        // The separator draw doubles as the lockstep check: it only
+        // matches if `normal` consumed exactly the two draws above.
+        ASSERT_EQ(a.next(), b.next()) << "call " << i;
+    }
+}
+
+TEST(RngTest, ExponentialAndParetoConsumeExactlyOneDraw) {
+    Rng a(67);
+    Rng b(67);
+    for (int i = 0; i < 10'000; ++i) {
+        if (i % 2 == 0) {
+            (void)a.exponential(3.0);
+        } else {
+            (void)a.pareto(1.0, 2.0);
+        }
+        b.next();
+        ASSERT_EQ(a.next(), b.next()) << "call " << i;
+    }
+}
+
+TEST(RngTest, NormalNeverProducesNonFinite) {
+    Rng rng(71);
+    for (int i = 0; i < 100'000; ++i) {
+        EXPECT_TRUE(std::isfinite(rng.normal(0.0, 1.0)));
+    }
+}
+
+// ---- RngStream: hierarchical key derivation ------------------------------
+
+TEST(RngStreamTest, RootMatchesPlainRngSeeding) {
+    const RngStream root(42);
+    Rng streamed = root.rng();
+    Rng plain(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(streamed.next(), plain.next());
+    EXPECT_EQ(root.key(), 42u);
+}
+
+TEST(RngStreamTest, DeriveIsDeterministicAndPathDependentOnly) {
+    const RngStream root(7);
+    EXPECT_EQ(root.derive("slice", 3).key(), root.derive("slice", 3).key());
+    EXPECT_EQ(root.derive("slice").key(), root.derive("slice", 0).key());
+    // The key depends on the path, not on sibling derivations.
+    const std::uint64_t before = root.derive("workload", 1).key();
+    (void)root.derive("population");
+    (void)root.derive("workload", 2);
+    EXPECT_EQ(root.derive("workload", 1).key(), before);
+}
+
+TEST(RngStreamTest, DistinctLabelsAndIndicesDiverge) {
+    const RngStream root(20130101);
+    EXPECT_NE(root.derive("period", 0).key(), root.derive("period", 1).key());
+    EXPECT_NE(root.derive("period", 1).key(), root.derive("period", 2).key());
+    EXPECT_NE(root.derive("clock").key(), root.derive("workload").key());
+    EXPECT_NE(root.derive("a", 1).key(), root.derive("b", 1).key());
+    // Two-level paths do not alias single-level ones.
+    EXPECT_NE(root.derive("slice", 1).derive("workload").key(),
+              root.derive("workload", 1).key());
+}
+
+// Streams with ADJACENT labels/indices must behave as independent
+// generators: no shared values (non-overlapping sequences) and no
+// linear correlation.
+TEST(RngStreamTest, AdjacentStreamsDoNotOverlap) {
+    const RngStream root(99);
+    constexpr int kStreams = 8;
+    constexpr int kDraws = 4'096;
+    std::vector<std::uint64_t> seen;
+    seen.reserve(kStreams * kDraws);
+    for (int s = 0; s < kStreams; ++s) {
+        Rng rng = root.derive("slice", static_cast<std::uint64_t>(s)).rng();
+        for (int i = 0; i < kDraws; ++i) seen.push_back(rng.next());
+    }
+    std::sort(seen.begin(), seen.end());
+    const auto dup = std::adjacent_find(seen.begin(), seen.end());
+    // 32K u64 draws: expected birthday collisions ~ 3e-11.
+    EXPECT_EQ(dup, seen.end());
+}
+
+TEST(RngStreamTest, AdjacentStreamsAreUncorrelated) {
+    const RngStream root(20151201);
+    constexpr int n = 50'000;
+    Rng a = root.derive("period", 0).rng();
+    Rng b = root.derive("period", 1).rng();
+    double sum_a = 0.0;
+    double sum_b = 0.0;
+    double sum_ab = 0.0;
+    double sum_a2 = 0.0;
+    double sum_b2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = a.uniform01();
+        const double y = b.uniform01();
+        sum_a += x;
+        sum_b += y;
+        sum_ab += x * y;
+        sum_a2 += x * x;
+        sum_b2 += y * y;
+    }
+    const double mean_a = sum_a / n;
+    const double mean_b = sum_b / n;
+    const double cov = sum_ab / n - mean_a * mean_b;
+    const double var_a = sum_a2 / n - mean_a * mean_a;
+    const double var_b = sum_b2 / n - mean_b * mean_b;
+    const double corr = cov / std::sqrt(var_a * var_b);
+    // Pearson correlation of independent U(0,1) draws at n=50k has
+    // stddev ~1/sqrt(n) ≈ 0.0045; 0.02 is > 4 sigma.
+    EXPECT_LT(std::abs(corr), 0.02);
+}
+
 TEST(ZipfSamplerTest, RankZeroIsMostPopular) {
     Rng rng(43);
     const ZipfSampler zipf(100, 1.2);

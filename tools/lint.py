@@ -16,6 +16,15 @@ Rules (rule ids in brackets):
                         src/exec — scans run on exec::ThreadPool, whose
                         ordered chunk merge keeps every result independent
                         of the thread count.
+  [no-adhoc-rng]        constructing util::Rng directly (`util::Rng r(seed)`,
+                        `util::Rng{seed}`, temporaries) outside src/util and
+                        tests — generators must come off the RngStream
+                        derivation tree (`stream.derive(...).rng()`) so
+                        streams never collide and sharded generation stays
+                        reproducible. Binding a derived generator
+                        (`util::Rng r = stream.rng();`), references, and
+                        uninitialized members stay legal; a deliberate root
+                        carries a `// rng-root` comment on the line.
   [fingerprint-domain]  the first FingerprintHasher::mix() of each fold
                         group must carry a field domain tag (a `k*Domain`
                         constant or a precomputed `*word*` table) so
@@ -47,6 +56,11 @@ SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
 RAND_RE = re.compile(r"(?<![\w:.])(?:std::)?rand\s*\(")
 ATOI_RE = re.compile(r"(?<![\w:.])(?:std::)?(?:atoi|atol|atoll)\s*\(")
 THREAD_RE = re.compile(r"(?<![\w:])std\s*::\s*(?:thread|jthread|async)\b")
+# A direct util::Rng construction: optional variable name, then a
+# paren/brace initializer. `util::Rng r = ...`, `util::Rng&`, and bare
+# member declarations deliberately don't match; `(?!\w)` keeps
+# util::RngStream out.
+ADHOC_RNG_RE = re.compile(r"util\s*::\s*Rng(?!\w)\s*(?:[A-Za-z_]\w*\s*)?[({]")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
 MIX_RE = re.compile(r"\.\s*mix\s*\(")
@@ -124,9 +138,15 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
-def check_content_rules(path, lines, in_src):
+def check_content_rules(path, lines, raw_lines, in_src):
     rng_exempt = path.name in ("rng.hpp", "rng.cpp") and "util" in path.parts
     thread_exempt = (REPO / "src" / "exec") in path.parents
+    # Tests may seed scratch generators freely; the derivation-tree
+    # discipline binds src/bench/examples. Fixtures are linted as if
+    # they were product code so the self-test can exercise the rule.
+    adhoc_rng_exempt = (
+        (REPO / "src" / "util") in path.parents
+        or ((REPO / "tests") in path.parents and FIXTURES not in path.parents))
     for lineno, line in enumerate(lines, 1):
         if not rng_exempt and RAND_RE.search(line):
             yield Violation(path, lineno, "no-rand",
@@ -141,6 +161,13 @@ def check_content_rules(path, lines, in_src):
                             "raw std::thread/std::async outside src/exec — "
                             "run chunked scans on exec::ThreadPool so "
                             "results stay thread-count independent")
+        if (not adhoc_rng_exempt and ADHOC_RNG_RE.search(line)
+                and "rng-root" not in raw_lines[lineno - 1]):
+            yield Violation(path, lineno, "no-adhoc-rng",
+                            "ad-hoc util::Rng construction — derive the "
+                            "generator from an RngStream "
+                            "(stream.derive(...).rng()) or mark a deliberate "
+                            "root with `// rng-root`")
     if path.suffix in HEADER_SUFFIXES:
         for lineno, line in enumerate(lines, 1):
             if USING_NAMESPACE_RE.search(line):
@@ -255,7 +282,8 @@ def check_run(path, run):
 def lint_file(path, in_src):
     raw_text = path.read_text(encoding="utf-8")
     stripped = strip_comments_and_strings(raw_text)
-    yield from check_content_rules(path, stripped.splitlines(), in_src)
+    yield from check_content_rules(path, stripped.splitlines(),
+                                   raw_text.splitlines(), in_src)
     yield from check_header_rules(path, raw_text)
     # Include rules read the raw lines: the targets live inside string
     # literals, which the stripper blanks out.
@@ -294,6 +322,7 @@ SELF_TEST_EXPECTATIONS = {
     "bad_fingerprint.cpp": {"fingerprint-domain"},
     "bad_includes.cpp": {"include-order"},
     "bad_thread.cpp": {"no-raw-thread"},
+    "bad_adhoc_rng.cpp": {"no-adhoc-rng"},
     "good.cpp": set(),
 }
 

@@ -8,3 +8,13 @@ python3 tools/lint.py
 cmake -B build -S . -DXRPL_WERROR=ON
 cmake --build build -j
 cd build && ctest --output-on-failure -j
+# The determinism suites prove thread-count independence from INSIDE
+# one process (ScopedParallelism); re-running them under explicit
+# XRPL_THREADS pins also covers the env-driven shared-pool setup the
+# benches use. Widths 1 and 8 bracket serial and oversubscribed.
+for width in 1 8; do
+  echo "--- determinism suite at XRPL_THREADS=${width} ---"
+  XRPL_THREADS="${width}" ./tests/xrpl_tests \
+    --gtest_filter='DeterminismTest.*:ShardedDeterminismTest.*:ShardedSlicingTest.*' \
+    --gtest_brief=1
+done
