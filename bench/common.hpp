@@ -11,13 +11,9 @@
 #include <string>
 
 #include "datagen/history.hpp"
-#include "util/env.hpp"
+#include "util/options.hpp"
 
 namespace xrpl::bench {
-
-// The strict parser lives in util (XRPL_THREADS and the bench knobs
-// share it); benches keep their historical bench::env_u64 spelling.
-using util::env_u64;
 
 inline datagen::GeneratorConfig default_history_config() {
     datagen::GeneratorConfig config;
@@ -27,14 +23,8 @@ inline datagen::GeneratorConfig default_history_config() {
     config.num_market_makers = 120;
     config.num_merchants = 500;
     config.num_hubs = 20;
-    config.target_payments = env_u64("XRPL_BENCH_PAYMENTS", 250'000);
+    config.target_payments = util::options().bench_payments;
     return config;
-}
-
-inline void print_header(const std::string& id, const std::string& title) {
-    std::cout << "==========================================================\n"
-              << id << " — " << title << "\n"
-              << "==========================================================\n";
 }
 
 inline void print_paper_note(const std::string& note) {

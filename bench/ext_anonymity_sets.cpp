@@ -7,13 +7,14 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "core/anonymity.hpp"
 #include "core/ig_study.hpp"
 #include "util/table.hpp"
 
-int main() {
+XRPL_BENCH("ext_anonymity_sets", "Extension",
+           "anonymity-set size distribution") {
     using namespace xrpl;
-    bench::print_header("Extension", "anonymity-set size distribution");
     const datagen::GeneratedHistory& history = bench::dataset();
 
     util::TextTable table({"configuration", "set=1 (IG)", "set<=3", "set<=10",

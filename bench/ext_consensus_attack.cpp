@@ -10,12 +10,13 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "consensus/robustness.hpp"
 #include "util/table.hpp"
 
-int main() {
+XRPL_BENCH("ext_consensus_attack", "Extension",
+           "validator takeover & the reward remedy") {
     using namespace xrpl;
-    bench::print_header("Extension", "validator takeover & the reward remedy");
 
     std::cout << "(1) takeover sweep, December 2015 population, 5-member "
                  "UNL:\n";

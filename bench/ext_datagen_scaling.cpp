@@ -10,20 +10,20 @@
 // Knobs: XRPL_BENCH_DATAGEN_PAYMENTS (default 100,000) sizes the
 // history; the slice width is fixed at target/16 so even the widest
 // pool has two slices per worker to balance.
-#include <chrono>
 #include <iostream>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "datagen/history.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/stopwatch.hpp"
 
-int main() {
+XRPL_BENCH("ext_datagen_scaling", "Extension",
+           "datagen thread-scaling sweep") {
     using namespace xrpl;
-    using clock = std::chrono::steady_clock;
 
-    const std::uint64_t target =
-        bench::env_u64("XRPL_BENCH_DATAGEN_PAYMENTS", 100'000);
+    const std::uint64_t target = util::options().bench_datagen_payments;
     datagen::GeneratorConfig config;
     config.seed = 20170605;
     config.num_users = 4'000;
@@ -45,11 +45,10 @@ int main() {
 
     for (const std::size_t width : {1u, 2u, 4u, 8u}) {
         exec::ScopedParallelism pool(width);
-        const auto start = clock::now();
+        const obs::Stopwatch watch;
         const datagen::GeneratedHistory history =
             datagen::generate_history(config);
-        const double seconds =
-            std::chrono::duration<double>(clock::now() - start).count();
+        const double seconds = watch.elapsed_seconds();
         if (width == 1) {
             baseline_payments = history.payments.size();
             baseline_close = history.last_close.seconds;

@@ -10,12 +10,13 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "core/ig_study.hpp"
 #include "util/table.hpp"
 
-int main() {
+XRPL_BENCH("ext_ig_scaling", "Extension",
+           "information gain vs history size") {
     using namespace xrpl;
-    bench::print_header("Extension", "information gain vs history size");
     const datagen::GeneratedHistory& history = bench::dataset();
 
     const core::ResolutionConfig configs[] = {

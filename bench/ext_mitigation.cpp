@@ -8,12 +8,13 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "core/mitigation.hpp"
 #include "util/table.hpp"
 
-int main() {
+XRPL_BENCH("ext_mitigation", "Extension",
+           "wallet rotation: cost and (in)effectiveness") {
     using namespace xrpl;
-    bench::print_header("Extension", "wallet rotation: cost and (in)effectiveness");
     const datagen::GeneratedHistory& history = bench::dataset();
 
     // Each owner's wallets must recreate its trust lines.

@@ -11,12 +11,13 @@
 #include "analytics/network_stats.hpp"
 #include "analytics/top_users.hpp"
 #include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "util/table.hpp"
 #include "util/textplot.hpp"
 
-int main() {
+XRPL_BENCH("ext_network_stats", "Extension",
+           "ecosystem counts & trust-network shape") {
     using namespace xrpl;
-    bench::print_header("Extension", "ecosystem counts & trust-network shape");
     const datagen::GeneratedHistory& history = bench::dataset();
 
     const analytics::NetworkStats stats =

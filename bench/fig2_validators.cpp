@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "consensus/monitor.hpp"
 #include "consensus/period_config.hpp"
 #include "consensus/rpca.hpp"
@@ -62,11 +63,10 @@ void run_period(const consensus::PeriodSpec& period, double scale,
 
 }  // namespace
 
-int main() {
-    bench::print_header("Fig 2", "validator pages signed: total vs valid");
+XRPL_BENCH("fig2_validators", "Fig 2",
+           "validator pages signed: total vs valid") {
     const double scale =
-        static_cast<double>(bench::env_u64("XRPL_BENCH_CONSENSUS_SCALE", 10)) /
-        100.0;
+        static_cast<double>(util::options().bench_consensus_scale) / 100.0;
     std::cout << "(scale: " << scale * 100
               << "% of the full two-week capture; counts scale linearly)\n\n";
 

@@ -4,13 +4,13 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "core/ig_study.hpp"
 #include "util/table.hpp"
 
-int main() {
+XRPL_BENCH("fig3_deanon", "Fig 3",
+           "information gain per feature list and resolution") {
     using namespace xrpl;
-    bench::print_header(
-        "Fig 3", "information gain per feature list and resolution");
     const datagen::GeneratedHistory& history = bench::dataset();
 
     const auto rows = core::run_ig_study(history.payments);

@@ -3,13 +3,14 @@
 
 #include "analytics/currency_stats.hpp"
 #include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "datagen/spam.hpp"
 #include "util/table.hpp"
 #include "util/textplot.hpp"
 
-int main() {
+XRPL_BENCH("fig4_currencies", "Fig 4",
+           "most used currencies, by payment count") {
     using namespace xrpl;
-    bench::print_header("Fig 4", "most used currencies, by payment count");
     const datagen::GeneratedHistory& history = bench::dataset();
 
     // Chunk-parallel scan of the currency column (identical to the

@@ -6,11 +6,12 @@
 
 #include "analytics/survival.hpp"
 #include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "util/table.hpp"
 
-int main() {
+XRPL_BENCH("fig5_survival", "Fig 5",
+           "survival function of payment amounts") {
     using namespace xrpl;
-    bench::print_header("Fig 5", "survival function of payment amounts");
     const datagen::GeneratedHistory& history = bench::dataset();
 
     // Chunk-parallel scans of the amount column (identical to the

@@ -5,12 +5,12 @@
 
 #include "analytics/path_stats.hpp"
 #include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "util/table.hpp"
 #include "util/textplot.hpp"
 
-int main() {
+XRPL_BENCH("fig6_paths", "Fig 6", "intermediate hops and parallel paths") {
     using namespace xrpl;
-    bench::print_header("Fig 6", "intermediate hops and parallel paths");
     const datagen::GeneratedHistory& history = bench::dataset();
 
     const analytics::PathStats stats = analytics::make_path_stats(

@@ -6,11 +6,12 @@
 
 #include "analytics/top_users.hpp"
 #include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "util/table.hpp"
 
-int main() {
+XRPL_BENCH("fig7_top_users", "Fig 7",
+           "the 50 most frequent intermediate hops") {
     using namespace xrpl;
-    bench::print_header("Fig 7", "the 50 most frequent intermediate hops");
     const datagen::GeneratedHistory& history = bench::dataset();
 
     const auto rate = [](ledger::Currency c) { return datagen::usd_value(c); };

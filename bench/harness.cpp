@@ -1,0 +1,82 @@
+#include "bench/harness.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/stopwatch.hpp"
+#include "util/options.hpp"
+
+namespace xrpl::bench {
+
+namespace {
+
+std::vector<BenchInfo>& registry() {
+    static std::vector<BenchInfo> benches;
+    return benches;
+}
+
+void print_header(const BenchInfo& info) {
+    std::cout << "==========================================================\n"
+              << info.display << " — " << info.title << "\n"
+              << "==========================================================\n";
+}
+
+/// BENCH_<name>.json: {"bench": ..., "obs": {...}, "wall_seconds": ...}
+/// — keys alphabetical here and (recursively) inside the obs snapshot,
+/// so two runs of the same bench diff only in measured durations.
+void write_report(const BenchInfo& info, double wall_seconds) {
+    const std::string path = util::options().bench_json_dir + "/BENCH_" +
+                             std::string(info.name) + ".json";
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "warning: cannot write " << path << "\n";
+        return;
+    }
+    os << "{\"bench\":\"" << info.name << "\",\"obs\":";
+    obs::write_json(os);
+    os << ",\"wall_seconds\":" << std::setprecision(6) << std::fixed
+       << wall_seconds << "}\n";
+    // stderr, not stdout: a bench's stdout is its analytical output and
+    // stays byte-identical whether or not recording (and so the report)
+    // is enabled.
+    std::cerr << "[report: " << path << "]\n";
+}
+
+}  // namespace
+
+void register_bench(const BenchInfo& info) { registry().push_back(info); }
+
+int harness_main(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--options") == 0) {
+            std::cout << util::options_markdown();
+            return 0;
+        }
+    }
+
+    // Benches record by default — their whole point is a measured
+    // report — but an explicit XRPL_OBS=0 still wins (that is how the
+    // byte-parity acceptance run disables the layer).
+    const util::Options& opts = util::options();
+    obs::set_enabled(opts.obs_explicit ? opts.obs : true);
+
+    int exit_code = 0;
+    for (const BenchInfo& info : registry()) {
+        obs::reset_all();  // the report covers this bench alone
+        print_header(info);
+        const obs::Stopwatch wall;
+        const int code = info.run();
+        const double wall_seconds = wall.elapsed_seconds();
+        if (obs::enabled()) write_report(info, wall_seconds);
+        if (code != 0 && exit_code == 0) exit_code = code;
+    }
+    return exit_code;
+}
+
+}  // namespace xrpl::bench

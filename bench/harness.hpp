@@ -1,0 +1,53 @@
+// The shared bench harness: every figure/table/extension bench is a
+// registered body, not a hand-rolled main().
+//
+//   XRPL_BENCH("fig4_currencies", "Fig 4", "most used currencies") {
+//       const auto& history = xrpl::bench::dataset();
+//       ...
+//       return 0;
+//   }
+//
+// The macro expands to the bench body plus the binary's main(), which
+//
+//  * handles `--options` (print the XRPL_* knob table and exit — the
+//    README's "Environment knobs" section is this output);
+//  * enables obs recording unless XRPL_OBS=0 was set explicitly;
+//  * prints the standard header, times the body with the one
+//    sanctioned wall clock (obs::Stopwatch), and
+//  * writes BENCH_<name>.json (deterministically ordered keys:
+//    "bench", "obs", "wall_seconds") into XRPL_BENCH_JSON_DIR.
+#pragma once
+
+#include <string_view>
+
+namespace xrpl::bench {
+
+struct BenchInfo {
+    std::string_view name;   // snake_case id: json filename, binary name
+    std::string_view display;  // "Fig 4", "Table II", "Extension"
+    std::string_view title;  // one-line description for the header
+    int (*run)();
+};
+
+/// Register a bench (the XRPL_BENCH macro's registrar calls this
+/// during static init). The registry is per-binary; each figure
+/// binary registers exactly one bench.
+void register_bench(const BenchInfo& info);
+
+/// Run every registered bench: header, body, BENCH_<name>.json.
+/// Returns the first nonzero body exit code, else 0.
+int harness_main(int argc, char** argv);
+
+}  // namespace xrpl::bench
+
+#define XRPL_BENCH(name_str, display_str, title_str)                       \
+    static int xrpl_bench_body();                                          \
+    static const bool xrpl_bench_registered = [] {                         \
+        ::xrpl::bench::register_bench(                                     \
+            {name_str, display_str, title_str, &xrpl_bench_body});         \
+        return true;                                                       \
+    }();                                                                   \
+    int main(int argc, char** argv) {                                      \
+        return ::xrpl::bench::harness_main(argc, argv);                    \
+    }                                                                      \
+    static int xrpl_bench_body()

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "core/resolution.hpp"
 #include "util/table.hpp"
 
@@ -23,8 +24,8 @@ std::string unit_string(ledger::Currency currency, AmountResolution res) {
 
 }  // namespace
 
-int main() {
-    bench::print_header("Table I", "rounding per currency strength group");
+XRPL_BENCH("table1_rounding", "Table I",
+           "rounding per currency strength group") {
 
     util::TextTable table({"Strength", "Currencies", "Max (m)", "High (h)",
                            "Average (a)", "Low (l)"});

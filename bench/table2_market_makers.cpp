@@ -10,17 +10,17 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "paths/order_book.hpp"
 #include "paths/replay.hpp"
 #include "util/table.hpp"
 
-int main() {
+XRPL_BENCH("table2_market_makers", "Table II",
+           "payments delivered without Market Makers") {
     using namespace xrpl;
-    bench::print_header("Table II", "payments delivered without Market Makers");
     const datagen::GeneratedHistory& history = bench::dataset();
 
-    const std::uint64_t replay_count =
-        bench::env_u64("XRPL_BENCH_REPLAY_PAYMENTS", 40'000);
+    const std::uint64_t replay_count = util::options().bench_replay_payments;
     util::Rng rng = util::RngStream(777).derive("replay").rng();
     // As the paper does, replay the payments "submitted after the
     // snapshot and successfully delivered".

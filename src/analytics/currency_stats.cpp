@@ -4,11 +4,14 @@
 
 #include "exec/chunked_view.hpp"
 #include "exec/parallel.hpp"
+#include "obs/metrics.hpp"
 
 namespace xrpl::analytics {
 
 std::unordered_map<ledger::Currency, std::uint64_t> count_currencies(
     ledger::PaymentView view) {
+    static obs::Counter& scans = obs::counter("analytics.scans");
+    scans.add();
     const ledger::PaymentColumns& columns = view.columns();
     const std::size_t offset = view.offset();
     const exec::ChunkedView chunks(view);

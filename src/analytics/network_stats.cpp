@@ -1,10 +1,10 @@
 #include "analytics/network_stats.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "exec/chunked_view.hpp"
 #include "exec/parallel.hpp"
+#include "obs/metrics.hpp"
 
 namespace xrpl::analytics {
 
@@ -33,21 +33,13 @@ void fill_ledger_stats(NetworkStats& stats, const ledger::LedgerState& ledger) {
 
 }  // namespace
 
+// Deprecated shim (see header): one interning pass, then the columnar
+// scan — so both overloads share a single counting implementation.
 NetworkStats compute_network_stats(const ledger::LedgerState& ledger,
                                    std::span<const ledger::TxRecord> records) {
-    NetworkStats stats;
-    fill_ledger_stats(stats, ledger);
-
-    std::unordered_set<ledger::AccountID> senders;
-    std::unordered_set<ledger::AccountID> participants;
-    for (const ledger::TxRecord& record : records) {
-        senders.insert(record.sender);
-        participants.insert(record.sender);
-        participants.insert(record.destination);
-    }
-    stats.active_senders = senders.size();
-    stats.active_participants = participants.size();
-    return stats;
+    const ledger::PaymentColumns columns =
+        ledger::PaymentColumns::from_records(records);
+    return compute_network_stats(ledger, columns.view());
 }
 
 namespace {
@@ -77,6 +69,8 @@ void sort_unique(std::vector<std::uint32_t>& ids) {
 
 NetworkStats compute_network_stats(const ledger::LedgerState& ledger,
                                    ledger::PaymentView view) {
+    static obs::Counter& scans = obs::counter("analytics.scans");
+    scans.add();
     NetworkStats stats;
     fill_ledger_stats(stats, ledger);
 

@@ -29,10 +29,15 @@ struct NetworkStats {
     std::uint32_t max_degree = 0;
 };
 
-/// Compute over the final ledger state and the payment history.
-[[nodiscard]] NetworkStats compute_network_stats(
-    const ledger::LedgerState& ledger,
-    std::span<const ledger::TxRecord> records);
+/// Row-path entry point, kept as a thin shim: interns the records into
+/// PaymentColumns and runs the column-native overload. Callers that
+/// already hold columns (every figure pipeline does) should pass a
+/// PaymentView instead and skip the conversion.
+[[deprecated(
+    "intern once with PaymentColumns::from_records and call the "
+    "PaymentView overload")]] [[nodiscard]] NetworkStats
+compute_network_stats(const ledger::LedgerState& ledger,
+                      std::span<const ledger::TxRecord> records);
 
 /// Column-native overload: distinct-sender/participant counts come
 /// from flag vectors over the interner (no AccountID hashing).

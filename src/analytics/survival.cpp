@@ -6,6 +6,7 @@
 #include "exec/chunked_view.hpp"
 #include "exec/parallel.hpp"
 #include "ledger/amount.hpp"
+#include "obs/metrics.hpp"
 
 namespace xrpl::analytics {
 
@@ -21,6 +22,8 @@ float amount_at(const ledger::PaymentColumns& columns, std::size_t row) noexcept
 }  // namespace
 
 std::vector<float> amount_samples(ledger::PaymentView view) {
+    static obs::Counter& scans = obs::counter("analytics.scans");
+    scans.add();
     const ledger::PaymentColumns& columns = view.columns();
     const std::size_t offset = view.offset();
     std::vector<float> samples(view.size());

@@ -4,6 +4,7 @@
 
 #include "exec/chunked_view.hpp"
 #include "exec/parallel.hpp"
+#include "obs/metrics.hpp"
 
 namespace xrpl::analytics {
 
@@ -65,6 +66,8 @@ double coverage_of_top(
 
 std::unordered_map<ledger::AccountID, std::uint64_t> sender_activity(
     ledger::PaymentView view) {
+    static obs::Counter& scans = obs::counter("analytics.scans");
+    scans.add();
     const ledger::PaymentColumns& columns = view.columns();
     const std::size_t offset = view.offset();
     const exec::ChunkedView chunks(view);

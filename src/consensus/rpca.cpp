@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/contract.hpp"
 #include "util/sha256.hpp"
 
@@ -104,6 +105,7 @@ RoundOutcome ConsensusSimulation::run_round(std::uint64_t round,
     std::size_t unl_candidate_votes = 0;
     std::size_t testnet_votes = 0;
     std::size_t testnet_population = 0;
+    std::size_t validations_published = 0;
 
     for (const Validator& v : validators_) {
         if (v.is_testnet()) ++testnet_population;
@@ -125,7 +127,19 @@ RoundOutcome ConsensusSimulation::run_round(std::uint64_t round,
 
         if (votes_main_candidate && v.spec.on_unl) ++unl_candidate_votes;
         stream.publish(ValidationMessage{round, v.index, signed_hash});
+        ++validations_published;
     }
+
+    // One registry touch per round with locally accumulated totals —
+    // the per-validator loop above stays metric-free.
+    static obs::Counter& rounds_run = obs::counter("consensus.rounds");
+    static obs::Counter& validations = obs::counter("consensus.validations");
+    static obs::Counter& unl_votes = obs::counter("consensus.votes.unl");
+    static obs::Counter& tn_votes = obs::counter("consensus.votes.testnet");
+    rounds_run.add();
+    validations.add(validations_published);
+    unl_votes.add(unl_candidate_votes);
+    tn_votes.add(testnet_votes);
 
     RoundOutcome outcome;
     ++cumulative_.rounds;
@@ -139,8 +153,12 @@ RoundOutcome ConsensusSimulation::run_round(std::uint64_t round,
         outcome.main_closed = true;
         outcome.main_page = main_candidate;
         stream.publish(PageClosed{round, ChainTag::kMain, main_candidate});
+        static obs::Counter& pages_main = obs::counter("consensus.pages.main");
+        pages_main.add();
     } else {
         ++cumulative_.main_rounds_failed;
+        static obs::Counter& failed = obs::counter("consensus.rounds_failed");
+        failed.add();
     }
 
     // Testnet: same 80% rule among testnet validators.
@@ -152,6 +170,9 @@ RoundOutcome ConsensusSimulation::run_round(std::uint64_t round,
             ++cumulative_.testnet_pages_closed;
             outcome.testnet_closed = true;
             stream.publish(PageClosed{round, ChainTag::kTestnet, testnet_candidate});
+            static obs::Counter& pages_tn =
+                obs::counter("consensus.pages.testnet");
+            pages_tn.add();
         }
     }
     return outcome;

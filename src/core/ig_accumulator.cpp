@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/contract.hpp"
 
 namespace xrpl::core {
@@ -14,6 +15,11 @@ IgPartial ig_map_chunk(ledger::PaymentView view, const FingerprintPlan& plan,
 
     std::vector<std::uint64_t> fingerprints(n);
     plan.rows(offset + begin, offset + end, fingerprints.data());
+
+    static obs::Counter& chunks = obs::counter("core.ig.chunks");
+    static obs::Counter& rows = obs::counter("core.ig.rows");
+    chunks.add();
+    rows.add(n);
 
     IgPartial partial;
     partial.total_rows = n;
@@ -31,6 +37,8 @@ IgPartial ig_map_chunk(ledger::PaymentView view, const FingerprintPlan& plan,
 }
 
 void ig_reduce(IgPartial& acc, IgPartial&& part) {
+    static obs::Counter& merges = obs::counter("core.ig.merges");
+    merges.add();
     if (acc.buckets.empty()) {
         acc.total_rows += part.total_rows;
         acc.buckets = std::move(part.buckets);

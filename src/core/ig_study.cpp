@@ -3,6 +3,7 @@
 #include "core/ig_accumulator.hpp"
 #include "exec/chunked_view.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/phase.hpp"
 #include "util/contract.hpp"
 
 namespace xrpl::core {
@@ -80,6 +81,7 @@ std::vector<IgStudyRow> run_ig_study(const ledger::PaymentColumns& payments) {
 }
 
 std::vector<IgStudyRow> run_ig_study(ledger::PaymentView view) {
+    const obs::Phase phase("core.ig_study");
     // The whole study is one flat (configuration x chunk) task grid:
     // chunks parallelize within a configuration, configurations
     // parallelize against each other, and the pool load-balances

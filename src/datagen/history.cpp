@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "exec/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "util/contract.hpp"
 
 namespace xrpl::datagen {
@@ -55,6 +57,10 @@ SliceResult run_slice(const GeneratorConfig& config,
                       const ledger::LedgerState& base,
                       const util::RngStream& root, std::size_t slice,
                       std::uint64_t slice_target, bool keep_ledger) {
+    // ScopedTimer, not Phase: slices run on pool workers, where only
+    // order-free histograms keep the snapshot deterministic.
+    static obs::Histogram& slice_ns = obs::histogram("datagen.slice_ns");
+    const obs::ScopedTimer timer(slice_ns);
     SliceResult out;
     ledger::LedgerState ledger = base.clone();
     paths::PaymentEngine engine(ledger);
@@ -116,11 +122,15 @@ SliceResult run_slice(const GeneratorConfig& config,
 }  // namespace
 
 GeneratedHistory generate_history(const GeneratorConfig& config) {
+    const obs::Phase phase("datagen.generate");
     GeneratedHistory history;
     const util::RngStream root(config.seed);
 
-    history.population =
-        build_population(history.ledger, config, root.derive("population"));
+    {
+        const obs::Phase stage("population");
+        history.population =
+            build_population(history.ledger, config, root.derive("population"));
+    }
 
     // --- stage 1: slice fan-out ---------------------------------------
     // The slice count is a pure function of the config — NEVER of
@@ -133,27 +143,39 @@ GeneratedHistory generate_history(const GeneratorConfig& config) {
         (config.target_payments + per_slice - 1) / per_slice);
 
     std::vector<SliceResult> slices(num_slices);
-    exec::parallel_for(num_slices, 1, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t s = begin; s < end; ++s) {
-            const std::uint64_t slice_target =
-                s + 1 == num_slices
-                    ? config.target_payments -
-                          per_slice * static_cast<std::uint64_t>(s)
-                    : per_slice;
-            slices[s] = run_slice(config, history.population, history.ledger,
-                                  root, s, slice_target, s + 1 == num_slices);
-        }
-    });
+    {
+        const obs::Phase stage("slices");
+        exec::parallel_for(num_slices, 1,
+                           [&](std::size_t begin, std::size_t end) {
+            for (std::size_t s = begin; s < end; ++s) {
+                const std::uint64_t slice_target =
+                    s + 1 == num_slices
+                        ? config.target_payments -
+                              per_slice * static_cast<std::uint64_t>(s)
+                        : per_slice;
+                slices[s] =
+                    run_slice(config, history.population, history.ledger, root,
+                              s, slice_target, s + 1 == num_slices);
+            }
+        });
+    }
 
     // --- stage 2: ordered merge ---------------------------------------
     // Strictly in slice order: records are rebased onto the global
     // timeline and interned into PaymentColumns sequentially (so the
     // dictionary keeps first-seen order), amount samples append, and
     // the pre-reduced aggregates sum.
+    const obs::Phase merge_stage("merge");
+    static obs::Counter& slices_done = obs::counter("datagen.slices");
+    static obs::Counter& payments = obs::counter("datagen.payments");
+    static obs::Counter& pages = obs::counter("datagen.pages");
     history.payments.reserve(config.target_payments);
     history.first_close = config.start_time;
     std::int64_t offset = config.start_time.seconds;
     for (SliceResult& slice : slices) {
+        slices_done.add();
+        payments.add(slice.records.size());
+        pages.add(slice.pages);
         for (ledger::TxRecord record : slice.records) {
             record.time.seconds += offset;
             history.payments.push_back(record);

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/contract.hpp"
-#include "util/env.hpp"
+#include "util/options.hpp"
 
 namespace xrpl::exec {
 
@@ -74,9 +75,15 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run(std::size_t count,
                      const std::function<void(std::size_t)>& task) {
     if (count == 0) return;
+    static obs::Counter& batches = obs::counter("exec.batches");
+    static obs::Counter& tasks = obs::counter("exec.tasks");
+    batches.add();
+    tasks.add(count);
     if (workers_.empty() || count == 1) {
         // Serial fast path: no queueing, no locks — XRPL_THREADS=1 is
         // exactly the plain loop.
+        static obs::Counter& serial = obs::counter("exec.batches_serial");
+        serial.add();
         for (std::size_t i = 0; i < count; ++i) task(i);
         return;
     }
@@ -87,6 +94,10 @@ void ThreadPool::run(std::size_t count,
 
     std::unique_lock<std::mutex> lock(mutex_);
     active_.push_back(batch);
+    // Depth of the shared queue at submission — a live view of how
+    // much nested fan-out is stacking up behind this batch.
+    static obs::Gauge& depth = obs::gauge("exec.queue_depth");
+    depth.set(static_cast<std::int64_t>(active_.size()));
     work_cv_.notify_all();
     // Drain our own batch: guarantees forward progress even when every
     // worker is busy (or executing the task that called us).
@@ -108,9 +119,10 @@ ThreadPool& ThreadPool::shared() {
 }
 
 std::size_t ThreadPool::configured_parallelism() {
-    const unsigned hardware = std::thread::hardware_concurrency();
-    const std::uint64_t fallback = hardware == 0 ? 1 : hardware;
-    return static_cast<std::size_t>(util::env_u64("XRPL_THREADS", fallback));
+    // from_env(), not options(): this probe documents re-read
+    // semantics (tests flip XRPL_THREADS between calls); the cached
+    // options() snapshot is for steady-state consumers.
+    return util::Options::from_env().threads;
 }
 
 ScopedParallelism::ScopedParallelism(std::size_t parallelism)

@@ -1,0 +1,122 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/registry_visit.hpp"
+
+namespace xrpl::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+    if (!enabled()) return;
+    const auto b = static_cast<std::size_t>(std::bit_width(value));
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& bucket : buckets_) {
+        total += bucket.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+std::uint64_t Histogram::bucket_bound(std::size_t b) noexcept {
+    if (b >= 64) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << b) - 1;
+}
+
+void Histogram::reset() noexcept {
+    for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// One name->metric map per kind. std::map keeps snapshot iteration
+/// sorted; unique_ptr keeps metric addresses stable across rehash-free
+/// inserts. Leaked on purpose: function-local statics elsewhere hold
+/// references into the registry, and static destruction order must
+/// never invalidate them.
+template <typename Metric>
+struct Registry {
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Metric>, std::less<>> metrics;
+
+    Metric& find_or_create(std::string_view name) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        const auto it = metrics.find(name);
+        if (it != metrics.end()) return *it->second;
+        return *metrics.emplace(std::string(name), std::make_unique<Metric>())
+                    .first->second;
+    }
+
+    template <typename Visit>
+    void for_each_sorted(const Visit& visit) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        for (const auto& [name, metric] : metrics) visit(name, *metric);
+    }
+};
+
+Registry<Counter>& counters() {
+    static auto* registry = new Registry<Counter>();
+    return *registry;
+}
+Registry<Gauge>& gauges() {
+    static auto* registry = new Registry<Gauge>();
+    return *registry;
+}
+Registry<Histogram>& histograms() {
+    static auto* registry = new Registry<Histogram>();
+    return *registry;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+    return counters().find_or_create(name);
+}
+Gauge& gauge(std::string_view name) { return gauges().find_or_create(name); }
+Histogram& histogram(std::string_view name) {
+    return histograms().find_or_create(name);
+}
+
+void reset_metrics() noexcept {
+    counters().for_each_sorted(
+        [](std::string_view, Counter& c) { c.reset(); });
+    gauges().for_each_sorted([](std::string_view, Gauge& g) { g.reset(); });
+    histograms().for_each_sorted(
+        [](std::string_view, Histogram& h) { h.reset(); });
+}
+
+namespace detail {
+
+void visit_counters(
+    const std::function<void(std::string_view, const Counter&)>& visit) {
+    counters().for_each_sorted(visit);
+}
+void visit_gauges(
+    const std::function<void(std::string_view, const Gauge&)>& visit) {
+    gauges().for_each_sorted(visit);
+}
+void visit_histograms(
+    const std::function<void(std::string_view, const Histogram&)>& visit) {
+    histograms().for_each_sorted(visit);
+}
+
+}  // namespace detail
+
+}  // namespace xrpl::obs

@@ -1,0 +1,147 @@
+// Process-wide metrics registry: named counters, gauges, and
+// fixed-bucket histograms.
+//
+// Design constraints, in priority order:
+//
+//  1. Near-zero cost when disabled: every record path starts with one
+//     relaxed atomic-bool load (obs::enabled()); with XRPL_OBS off the
+//     instrumented binaries run the same loops they ran before this
+//     layer existed, and analytical outputs are byte-identical either
+//     way (metrics only count, they never steer).
+//  2. Safe and cheap from pool workers: counters stripe their cells by
+//     thread (cache-line-padded relaxed fetch_add, no locks), so
+//     exec::parallel_for chunks can record without contending.
+//  3. Stable addresses: lookup once, cache the reference in a
+//     function-local static. The registry never destroys a metric, so
+//     `static obs::Counter& c = obs::counter("exec.tasks");` is the
+//     intended (and only) hot-path pattern.
+//
+// Metric naming: dot-separated `<layer>.<what>[.<detail>]`, lower
+// case — "exec.tasks", "consensus.pages.main", "datagen.slice_ns"
+// (histograms of durations end in `_ns`). See DESIGN.md §13.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace xrpl::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+
+/// Stripe index of the calling thread: a thread-local's address mixed
+/// down to log2(kStripes) bits. (No std::thread::id — the hash is
+/// cheaper and keeps this header out of the no-raw-thread rule.)
+inline std::size_t thread_stripe() noexcept {
+    thread_local constinit char marker = 0;
+    const auto p = reinterpret_cast<std::uintptr_t>(&marker);
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(p) * 0x9e3779b97f4a7c15ULL) >> 61);
+}
+}  // namespace detail
+
+/// Whether metric recording is on (the XRPL_OBS toggle; the bench
+/// harness force-enables it). One relaxed load — the entire cost of
+/// every instrumentation site when off.
+[[nodiscard]] inline bool enabled() noexcept {
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on) noexcept;
+
+inline constexpr std::size_t kCounterStripes = 8;
+
+/// Monotonic event count. add() is wait-free: one relaxed fetch_add on
+/// the caller's stripe.
+class Counter {
+public:
+    void add(std::uint64_t delta = 1) noexcept {
+        if (!enabled()) return;
+        cells_[detail::thread_stripe()].v.fetch_add(delta,
+                                                    std::memory_order_relaxed);
+    }
+
+    /// Sum over stripes. Exact once concurrent writers have finished.
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        std::uint64_t sum = 0;
+        for (const Cell& cell : cells_) {
+            sum += cell.v.load(std::memory_order_relaxed);
+        }
+        return sum;
+    }
+
+    void reset() noexcept {
+        for (Cell& cell : cells_) cell.v.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    struct alignas(64) Cell {
+        std::atomic<std::uint64_t> v{0};
+    };
+    std::array<Cell, kCounterStripes> cells_{};
+};
+
+/// Last-written level (pool width, queue depth, ...). Signed, because
+/// levels can legitimately go negative.
+class Gauge {
+public:
+    void set(std::int64_t value) noexcept {
+        if (!enabled()) return;
+        value_.store(value, std::memory_order_relaxed);
+    }
+    void add(std::int64_t delta) noexcept {
+        if (!enabled()) return;
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over unsigned values (typically durations in
+/// nanoseconds). Buckets are powers of two: bucket b counts values
+/// with bit_width b, i.e. [2^(b-1), 2^b). Recording is two relaxed
+/// fetch_adds — no stripes; histogram sites are per-chunk or per-slice,
+/// not per-row.
+class Histogram {
+public:
+    static constexpr std::size_t kBuckets = 65;  // bit_width(u64) in [0, 64]
+
+    void record(std::uint64_t value) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept;
+    [[nodiscard]] std::uint64_t sum() const noexcept {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t bucket(std::size_t b) const noexcept {
+        return buckets_[b].load(std::memory_order_relaxed);
+    }
+    /// Inclusive upper bound of bucket b (the largest value it counts).
+    [[nodiscard]] static std::uint64_t bucket_bound(std::size_t b) noexcept;
+
+    void reset() noexcept;
+
+private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Registry lookups: find-or-create the named metric. Registration
+/// takes a mutex; cache the reference (function-local static) so each
+/// site pays it once per process. Names live for the process lifetime
+/// and are reported in sorted order by obs::snapshot().
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Gauge& gauge(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name);
+
+/// Zero every registered metric (values only — metrics stay
+/// registered, cached references stay valid). Tests and the bench
+/// harness call this between runs.
+void reset_metrics() noexcept;
+
+}  // namespace xrpl::obs

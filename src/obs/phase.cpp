@@ -1,0 +1,101 @@
+#include "obs/phase.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/stopwatch.hpp"
+
+namespace xrpl::obs {
+
+namespace {
+
+struct Node {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+};
+
+std::mutex& tree_mutex() {
+    static auto* mutex = new std::mutex();
+    return *mutex;
+}
+Node& tree_root() {
+    static auto* root = new Node();  // leaked: see metrics.cpp rationale
+    return *root;
+}
+
+/// The calling thread's open-phase path. Names, not node pointers, so
+/// reset_phases() can drop the tree while phases are open — a closing
+/// phase re-resolves (and recreates) its path under the lock.
+std::vector<std::string>& thread_phase_path() {
+    thread_local std::vector<std::string> path;
+    return path;
+}
+
+void copy_sorted(const Node& node, PhaseSnapshot& out) {
+    out.count = node.count;
+    out.total_ns = node.total_ns;
+    out.children.reserve(node.children.size());
+    for (const auto& [name, child] : node.children) {  // map order == sorted
+        PhaseSnapshot snap;
+        snap.name = name;
+        copy_sorted(*child, snap);
+        out.children.push_back(std::move(snap));
+    }
+}
+
+}  // namespace
+
+Phase::Phase(std::string_view name) {
+    if (!enabled()) return;
+    active_ = true;
+    thread_phase_path().emplace_back(name);
+    start_ns_ = Stopwatch::now_ns();
+}
+
+Phase::~Phase() {
+    if (!active_) return;
+    const std::uint64_t elapsed = Stopwatch::now_ns() - start_ns_;
+    std::vector<std::string>& path = thread_phase_path();
+    {
+        const std::lock_guard<std::mutex> lock(tree_mutex());
+        Node* node = &tree_root();
+        for (const std::string& segment : path) {
+            std::unique_ptr<Node>& child = node->children[segment];
+            if (!child) child = std::make_unique<Node>();
+            node = child.get();
+        }
+        ++node->count;
+        node->total_ns += elapsed;
+    }
+    path.pop_back();
+}
+
+ScopedTimer::ScopedTimer(Histogram& into) : into_(&into) {
+    if (!enabled()) return;
+    active_ = true;
+    start_ns_ = Stopwatch::now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+    if (!active_) return;
+    into_->record(Stopwatch::now_ns() - start_ns_);
+}
+
+PhaseSnapshot phase_snapshot() {
+    PhaseSnapshot out;
+    out.name = "root";
+    const std::lock_guard<std::mutex> lock(tree_mutex());
+    copy_sorted(tree_root(), out);
+    return out;
+}
+
+void reset_phases() noexcept {
+    const std::lock_guard<std::mutex> lock(tree_mutex());
+    tree_root().children.clear();
+    tree_root().count = 0;
+    tree_root().total_ns = 0;
+}
+
+}  // namespace xrpl::obs

@@ -1,0 +1,75 @@
+// Hierarchical phase tracing and scoped histogram timers.
+//
+// A Phase is a named RAII scope on the CALLING thread: nested phases
+// build a tree ("fig3_deanon" -> "datagen.generate" ->
+// "datagen.slices"), each node accumulating enter count and total
+// wall time. The tree is global and mutex-guarded — phases mark
+// coarse stages (a generation stage, a study, a bench body), entered
+// at most a few hundred times per run, so the lock is noise.
+//
+// Discipline: do NOT open a Phase inside an exec::ThreadPool task.
+// The caller participates in its own batches, so the same task body
+// runs sometimes under the caller's current phase and sometimes under
+// a worker's root — the tree SHAPE would depend on scheduling. Inside
+// pool tasks use ScopedTimer (order-free histogram) instead; that
+// split is what keeps obs::snapshot() deterministically shaped at
+// every thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace xrpl::obs {
+
+/// RAII phase scope. No-op (one enabled() check) when obs is off;
+/// a Phase that outlives a set_enabled(false) still closes cleanly.
+class Phase {
+public:
+    explicit Phase(std::string_view name);
+    ~Phase();
+
+    Phase(const Phase&) = delete;
+    Phase& operator=(const Phase&) = delete;
+
+private:
+    bool active_ = false;
+    std::uint64_t start_ns_ = 0;
+};
+
+/// RAII timer recording its scope's duration (ns) into a Histogram.
+/// Safe inside pool tasks: histograms are merge-order-free.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(Histogram& into);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    Histogram* into_;
+    bool active_ = false;
+    std::uint64_t start_ns_ = 0;
+};
+
+/// Materialized phase tree: children sorted by name, so serialization
+/// order never depends on timing.
+struct PhaseSnapshot {
+    std::string name;
+    std::uint64_t count = 0;     // completed entries
+    std::uint64_t total_ns = 0;  // wall time summed over entries
+    std::vector<PhaseSnapshot> children;
+};
+
+/// Snapshot of the whole tree (root is the synthetic node "root").
+[[nodiscard]] PhaseSnapshot phase_snapshot();
+
+/// Drop all recorded phases. Phases currently open keep recording
+/// into fresh nodes when they close.
+void reset_phases() noexcept;
+
+}  // namespace xrpl::obs

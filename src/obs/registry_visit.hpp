@@ -1,0 +1,20 @@
+// Internal: sorted read access to the metric registries, used by
+// obs::snapshot(). Not part of the instrumentation API — hot paths
+// hold direct references (see metrics.hpp).
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace xrpl::obs::detail {
+
+void visit_counters(
+    const std::function<void(std::string_view, const Counter&)>& visit);
+void visit_gauges(
+    const std::function<void(std::string_view, const Gauge&)>& visit);
+void visit_histograms(
+    const std::function<void(std::string_view, const Histogram&)>& visit);
+
+}  // namespace xrpl::obs::detail

@@ -1,0 +1,124 @@
+#include "obs/snapshot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/registry_visit.hpp"
+
+namespace xrpl::obs {
+
+namespace {
+
+/// Minimal JSON string escape. Metric/phase names are plain
+/// dot-separated identifiers by convention, but a stray quote must
+/// not produce invalid JSON.
+void write_escaped(std::ostream& os, std::string_view text) {
+    os << '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    const char* hex = "0123456789abcdef";
+                    os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+void write_phase(std::ostream& os, const PhaseSnapshot& phase) {
+    // Keys alphabetical: children, count, name, total_ns.
+    os << "{\"children\":[";
+    for (std::size_t i = 0; i < phase.children.size(); ++i) {
+        if (i != 0) os << ',';
+        write_phase(os, phase.children[i]);
+    }
+    os << "],\"count\":" << phase.count << ",\"name\":";
+    write_escaped(os, phase.name);
+    os << ",\"total_ns\":" << phase.total_ns << '}';
+}
+
+}  // namespace
+
+Snapshot snapshot() {
+    Snapshot snap;
+    snap.enabled = enabled();
+    detail::visit_counters([&](std::string_view name, const Counter& c) {
+        const std::uint64_t value = c.value();
+        if (value != 0) snap.counters.emplace_back(std::string(name), value);
+    });
+    detail::visit_gauges([&](std::string_view name, const Gauge& g) {
+        const std::int64_t value = g.value();
+        if (value != 0) snap.gauges.emplace_back(std::string(name), value);
+    });
+    detail::visit_histograms([&](std::string_view name, const Histogram& h) {
+        HistogramSnapshot row;
+        row.name = std::string(name);
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+            const std::uint64_t count = h.bucket(b);
+            if (count == 0) continue;
+            row.count += count;
+            row.buckets.emplace_back(Histogram::bucket_bound(b), count);
+        }
+        if (row.count == 0) return;  // omit empty, like zero counters
+        row.sum = h.sum();
+        snap.histograms.push_back(std::move(row));
+    });
+    snap.phases = phase_snapshot();
+    return snap;
+}
+
+void write_json(std::ostream& os, const Snapshot& snap) {
+    // Top-level keys alphabetical: counters, enabled, gauges,
+    // histograms, phases.
+    os << "{\"counters\":{";
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+        if (i != 0) os << ',';
+        write_escaped(os, snap.counters[i].first);
+        os << ':' << snap.counters[i].second;
+    }
+    os << "},\"enabled\":" << (snap.enabled ? "true" : "false")
+       << ",\"gauges\":{";
+    for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+        if (i != 0) os << ',';
+        write_escaped(os, snap.gauges[i].first);
+        os << ':' << snap.gauges[i].second;
+    }
+    os << "},\"histograms\":{";
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+        const HistogramSnapshot& row = snap.histograms[i];
+        if (i != 0) os << ',';
+        write_escaped(os, row.name);
+        os << ":{\"buckets\":[";
+        for (std::size_t b = 0; b < row.buckets.size(); ++b) {
+            if (b != 0) os << ',';
+            os << '[' << row.buckets[b].first << ',' << row.buckets[b].second
+               << ']';
+        }
+        os << "],\"count\":" << row.count << ",\"sum\":" << row.sum << '}';
+    }
+    os << "},\"phases\":";
+    write_phase(os, snap.phases);
+    os << '}';
+}
+
+void write_json(std::ostream& os) { write_json(os, snapshot()); }
+
+std::string to_json() {
+    std::ostringstream os;
+    write_json(os);
+    return os.str();
+}
+
+void reset_all() noexcept {
+    reset_metrics();
+    reset_phases();
+}
+
+}  // namespace xrpl::obs

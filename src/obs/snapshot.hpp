@@ -1,0 +1,56 @@
+// Point-in-time view of the whole observability registry, and its
+// deterministic JSON serialization.
+//
+// Determinism contract: the JSON SHAPE is a pure function of which
+// metrics fired — object keys are alphabetical, metric lists are
+// name-sorted, phase children are name-sorted, and zero-valued
+// metrics are omitted (so a freshly reset registry serializes the
+// same whatever ran in the process before). Only the measured
+// durations themselves vary run to run. See DESIGN.md §13 for the
+// schema.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/phase.hpp"
+
+namespace xrpl::obs {
+
+struct HistogramSnapshot {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    /// (inclusive upper bound, count) per non-empty power-of-two
+    /// bucket, ascending.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
+struct Snapshot {
+    bool enabled = false;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
+    std::vector<std::pair<std::string, std::int64_t>> gauges;     // name-sorted
+    std::vector<HistogramSnapshot> histograms;                    // name-sorted
+    PhaseSnapshot phases;
+};
+
+/// Materialize every non-zero metric plus the phase tree.
+[[nodiscard]] Snapshot snapshot();
+
+/// Serialize (no trailing newline). Keys are emitted in alphabetical
+/// order at every level; byte-stable given equal snapshot contents.
+void write_json(std::ostream& os, const Snapshot& snap);
+
+/// snapshot() + write_json() in one call.
+void write_json(std::ostream& os);
+
+[[nodiscard]] std::string to_json();
+
+/// Zero all metrics and drop all phases — the bench harness calls
+/// this before each run so BENCH_*.json reflects only that run.
+void reset_all() noexcept;
+
+}  // namespace xrpl::obs

@@ -1,0 +1,47 @@
+// The repo's ONE wall-clock site.
+//
+// Every duration this codebase measures — phase timings, per-chunk
+// scan histograms, bench wall time — flows through Stopwatch, so the
+// `no-adhoc-timing` lint rule can ban raw std::chrono clocks
+// everywhere else. Centralizing the clock keeps timing observable
+// (recorded into the obs registry, not printed ad hoc) and makes the
+// overhead budget auditable: one steady_clock::now() per reading.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace xrpl::obs {
+
+class Stopwatch {
+public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    void restart() { start_ = Clock::now(); }
+
+    [[nodiscard]] std::uint64_t elapsed_ns() const {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 start_)
+                .count());
+    }
+
+    [[nodiscard]] double elapsed_seconds() const {
+        return static_cast<double>(elapsed_ns()) * 1e-9;
+    }
+
+    /// Monotonic nanosecond reading (epoch unspecified); differences
+    /// between two readings are durations.
+    [[nodiscard]] static std::uint64_t now_ns() {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now().time_since_epoch())
+                .count());
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace xrpl::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+
 namespace xrpl::paths {
 
 using ledger::Amount;
@@ -61,6 +63,8 @@ bool consume_fill(LedgerState& ledger, const BookKey& key, const Fill& fill) {
     if (it->taker_gets.value.is_zero() || it->taker_gets.value.is_negative()) {
         entries.erase(it);
     }
+    static obs::Counter& consumed = obs::counter("paths.offers_consumed");
+    consumed.add();
     return true;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.hpp"
+
 namespace xrpl::paths {
 
 namespace {
@@ -131,6 +133,11 @@ std::optional<TrustPath> PathFinder::find(const TrustGraph& graph,
             backward_depth = next_depth;
         }
     }
+
+    // One add per search with the whole BFS's node total, not one per
+    // visit — find() is on the payment hot path.
+    static obs::Counter& nodes_expanded = obs::counter("paths.nodes_expanded");
+    nodes_expanded.add(visited);
 
     if (!meeting) return std::nullopt;
 

@@ -22,4 +22,23 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
     return parsed;
 }
 
+bool env_flag(const char* name, bool fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr) return fallback;
+    if (std::strcmp(value, "0") == 0) return false;
+    if (std::strcmp(value, "1") == 0) return true;
+    std::cerr << "warning: ignoring malformed " << name << "='" << value
+              << "' (expected 0 or 1); using " << (fallback ? "1" : "0")
+              << "\n";
+    return fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || value[0] == '\0') return fallback;
+    return value;
+}
+
+bool env_present(const char* name) { return std::getenv(name) != nullptr; }
+
 }  // namespace xrpl::util

@@ -1,13 +1,16 @@
-// Strict environment-variable parsing.
+// Strict environment-variable parsing — the PARSER layer under
+// util::Options.
 //
-// Every knob this repo reads from the environment (XRPL_THREADS,
-// XRPL_BENCH_PAYMENTS, ...) goes through env_u64: the whole string
-// must parse as a positive integer, anything else warns once on
+// Every knob this repo reads from the environment goes through these
+// helpers: the whole string must parse, anything else warns once on
 // stderr and falls back — never a silent half-parse (the atoi-family
-// failure mode tools/lint.py bans).
+// failure mode tools/lint.py bans). Call sites outside src/util must
+// go through the typed util::Options registry (options.hpp); the
+// `no-adhoc-env` lint rule enforces that.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace xrpl::util {
 
@@ -16,5 +19,18 @@ namespace xrpl::util {
 /// values yield `fallback`; malformed and zero additionally warn on
 /// stderr so a typo'd knob never passes silently.
 [[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Boolean toggle: exactly "0" or "1". Unset yields `fallback`;
+/// anything else warns on stderr and yields `fallback`.
+[[nodiscard]] bool env_flag(const char* name, bool fallback);
+
+/// Raw string value; unset (or empty) yields `fallback`.
+[[nodiscard]] std::string env_string(const char* name,
+                                     const std::string& fallback);
+
+/// Whether `name` is present in the environment at all (even if its
+/// value is malformed) — lets callers distinguish "defaulted" from
+/// "explicitly configured".
+[[nodiscard]] bool env_present(const char* name);
 
 }  // namespace xrpl::util

@@ -175,8 +175,13 @@ TEST_F(DeterminismTest, AmountScanMatchesStreamedSamples) {
 
 TEST_F(DeterminismTest, NetworkScanMatchesRowOverload) {
     const std::vector<ledger::TxRecord> records = history_->to_records();
+    // Deliberately exercising the deprecated shim: it must keep
+    // matching the columnar scan it forwards to.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     const analytics::NetworkStats rows =
         analytics::compute_network_stats(history_->ledger, records);
+#pragma GCC diagnostic pop
     const analytics::NetworkStats cols = analytics::compute_network_stats(
         history_->ledger, history_->payments.view());
     EXPECT_EQ(rows.active_senders, cols.active_senders);

@@ -1,0 +1,14 @@
+// Fixture: direct environment reads outside src/util (no-adhoc-env).
+// Every XRPL_* knob is declared once in util::Options; call sites read
+// the typed field off util::options().
+#include <cstdlib>
+
+#include "util/env.hpp"
+
+unsigned long long bad_env() {
+    unsigned long long total = xrpl::util::env_u64("XRPL_THREADS", 4);
+    if (xrpl::util::env_flag("XRPL_OBS", false)) ++total;
+    if (xrpl::util::env_present("XRPL_BENCH_PAYMENTS")) ++total;
+    if (std::getenv("XRPL_BENCH_JSON_DIR") != nullptr) ++total;
+    return total;
+}

@@ -1,0 +1,11 @@
+// Fixture: ad-hoc wall-clock timing outside src/obs (no-adhoc-timing).
+// Durations flow through obs::Stopwatch so they land in the metrics
+// registry instead of being printed and lost.
+#include <chrono>
+
+long bad_timing() {
+    const auto start = std::chrono::steady_clock::now();
+    const auto wall = std::chrono::system_clock::now().time_since_epoch();
+    const auto end = std::chrono::high_resolution_clock::now();
+    return (end - start).count() + wall.count();
+}

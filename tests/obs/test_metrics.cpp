@@ -1,0 +1,110 @@
+// obs metrics: the enabled gate, striped-counter exactness under the
+// shared pool, histogram bucketing, and registry identity.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace xrpl::obs {
+namespace {
+
+/// Every test leaves recording OFF (the process default) so suites
+/// that run after this one see the unobserved fast path.
+class ObsMetricsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        set_enabled(true);
+        reset_metrics();
+    }
+    void TearDown() override {
+        reset_metrics();
+        set_enabled(false);
+    }
+};
+
+TEST_F(ObsMetricsTest, DisabledRecordingIsANoOp) {
+    Counter& c = counter("test.metrics.disabled");
+    Gauge& g = gauge("test.metrics.disabled_gauge");
+    Histogram& h = histogram("test.metrics.disabled_hist");
+    set_enabled(false);
+    c.add();
+    c.add(41);
+    g.set(7);
+    g.add(3);
+    h.record(1234);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST_F(ObsMetricsTest, RegistryReturnsTheSameMetricPerName) {
+    Counter& a = counter("test.metrics.identity");
+    Counter& b = counter("test.metrics.identity");
+    EXPECT_EQ(&a, &b);
+    a.add(2);
+    EXPECT_EQ(b.value(), 2u);
+    EXPECT_NE(&a, &counter("test.metrics.identity2"));
+}
+
+TEST_F(ObsMetricsTest, CounterSumsStripesExactly) {
+    Counter& c = counter("test.metrics.striped");
+    // Concurrent adds from pool workers AND the participating caller:
+    // the striped cells must add up exactly, never drop an increment.
+    exec::ScopedParallelism pool(8);
+    constexpr std::size_t kTasks = 10'000;
+    exec::parallel_for(kTasks, 16, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) c.add();
+    });
+    EXPECT_EQ(c.value(), kTasks);
+}
+
+TEST_F(ObsMetricsTest, GaugeSetAddAndReset) {
+    Gauge& g = gauge("test.metrics.gauge");
+    g.set(5);
+    g.add(-8);
+    EXPECT_EQ(g.value(), -3);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketsByBitWidth) {
+    Histogram& h = histogram("test.metrics.hist");
+    h.record(0);     // bit_width 0
+    h.record(1);     // bit_width 1
+    h.record(2);     // bit_width 2: [2, 3]
+    h.record(3);
+    h.record(1000);  // bit_width 10: [512, 1023]
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1006u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(10), 1u);
+    EXPECT_EQ(h.bucket(3), 0u);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketBounds) {
+    EXPECT_EQ(Histogram::bucket_bound(0), 0u);   // only the value 0
+    EXPECT_EQ(Histogram::bucket_bound(1), 1u);   // only the value 1
+    EXPECT_EQ(Histogram::bucket_bound(2), 3u);   // [2, 3]
+    EXPECT_EQ(Histogram::bucket_bound(10), 1023u);
+    EXPECT_EQ(Histogram::bucket_bound(64),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST_F(ObsMetricsTest, ResetZeroesValuesButKeepsReferencesValid) {
+    Counter& c = counter("test.metrics.reset");
+    c.add(9);
+    reset_metrics();
+    EXPECT_EQ(c.value(), 0u);
+    c.add(2);  // the cached reference still points at the live metric
+    EXPECT_EQ(c.value(), 2u);
+}
+
+}  // namespace
+}  // namespace xrpl::obs

@@ -1,0 +1,104 @@
+// obs snapshot/JSON: golden byte-exact serialization (metric values
+// are chosen, so every byte is predictable), phase-tree shape, and the
+// zero-omission rule that keeps the shape history-independent.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/snapshot.hpp"
+
+namespace xrpl::obs {
+namespace {
+
+class ObsSnapshotTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        set_enabled(true);
+        reset_all();
+    }
+    void TearDown() override {
+        reset_all();
+        set_enabled(false);
+    }
+};
+
+TEST_F(ObsSnapshotTest, GoldenJson) {
+    counter("zz.test.counter").add(3);
+    gauge("zz.test.gauge").add(-2);
+    histogram("zz.test.hist").record(1);
+    histogram("zz.test.hist").record(1000);
+
+    // Keys alphabetical at every level, metrics name-sorted, zero
+    // metrics omitted, no whitespace: the exact byte stream.
+    const std::string expected =
+        "{\"counters\":{\"zz.test.counter\":3},"
+        "\"enabled\":true,"
+        "\"gauges\":{\"zz.test.gauge\":-2},"
+        "\"histograms\":{\"zz.test.hist\":"
+        "{\"buckets\":[[1,1],[1023,1]],\"count\":2,\"sum\":1001}},"
+        "\"phases\":{\"children\":[],\"count\":0,\"name\":\"root\","
+        "\"total_ns\":0}}";
+    EXPECT_EQ(to_json(), expected);
+}
+
+TEST_F(ObsSnapshotTest, ZeroValuedMetricsAreOmitted) {
+    // Registered but never incremented — must not appear in the JSON.
+    (void)counter("zz.test.zero");
+    (void)gauge("zz.test.zero_gauge");
+    (void)histogram("zz.test.zero_hist");
+    const Snapshot snap = snapshot();
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_TRUE(snap.gauges.empty());
+    EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST_F(ObsSnapshotTest, SnapshotReportsDisabledState) {
+    set_enabled(false);
+    const std::string json = to_json();
+    EXPECT_NE(json.find("\"enabled\":false"), std::string::npos);
+}
+
+TEST_F(ObsSnapshotTest, PhaseTreeNestsAndSortsChildren) {
+    {
+        const Phase outer("study");
+        { const Phase inner("zeta"); }
+        { const Phase inner("alpha"); }
+        { const Phase inner("alpha"); }
+    }
+    const PhaseSnapshot root = phase_snapshot();
+    ASSERT_EQ(root.children.size(), 1u);
+    const PhaseSnapshot& study = root.children[0];
+    EXPECT_EQ(study.name, "study");
+    EXPECT_EQ(study.count, 1u);
+    ASSERT_EQ(study.children.size(), 2u);
+    // Children are name-sorted, never entry-ordered.
+    EXPECT_EQ(study.children[0].name, "alpha");
+    EXPECT_EQ(study.children[0].count, 2u);
+    EXPECT_EQ(study.children[1].name, "zeta");
+    EXPECT_EQ(study.children[1].count, 1u);
+    // Wall time accumulates upward: the parent covers its children.
+    EXPECT_GE(study.total_ns,
+              study.children[0].total_ns + study.children[1].total_ns);
+}
+
+TEST_F(ObsSnapshotTest, ResetWithOpenPhaseStaysCoherent) {
+    {
+        const Phase open("survivor");
+        reset_all();  // drops the tree while `open` is still running
+    }                 // closing re-resolves its path into a fresh node
+    const PhaseSnapshot root = phase_snapshot();
+    ASSERT_EQ(root.children.size(), 1u);
+    EXPECT_EQ(root.children[0].name, "survivor");
+    EXPECT_EQ(root.children[0].count, 1u);
+}
+
+TEST_F(ObsSnapshotTest, DisabledPhasesRecordNothing) {
+    set_enabled(false);
+    { const Phase phase("invisible"); }
+    EXPECT_TRUE(phase_snapshot().children.empty());
+}
+
+}  // namespace
+}  // namespace xrpl::obs

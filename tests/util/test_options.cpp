@@ -1,0 +1,132 @@
+// util::Options — the typed XRPL_* registry: parsing, defaults, the
+// explicit-presence probe, and the self-documenting option table.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/options.hpp"
+
+namespace xrpl::util {
+namespace {
+
+const char* const kAllVars[] = {
+    "XRPL_THREADS",
+    "XRPL_OBS",
+    "XRPL_BENCH_PAYMENTS",
+    "XRPL_BENCH_CONSENSUS_SCALE",
+    "XRPL_BENCH_REPLAY_PAYMENTS",
+    "XRPL_BENCH_DATAGEN_PAYMENTS",
+    "XRPL_BENCH_JSON_DIR",
+};
+
+/// Every test starts and ends with a clean environment (the suite may
+/// itself run under XRPL_THREADS pins; save and restore them).
+class OptionsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        for (const char* name : kAllVars) {
+            const char* value = std::getenv(name);
+            if (value != nullptr) saved_.emplace_back(name, value);
+            ::unsetenv(name);
+        }
+    }
+    void TearDown() override {
+        for (const char* name : kAllVars) ::unsetenv(name);
+        for (const auto& [name, value] : saved_) {
+            ::setenv(name.c_str(), value.c_str(), 1);
+        }
+    }
+
+private:
+    std::vector<std::pair<std::string, std::string>> saved_;
+};
+
+TEST_F(OptionsTest, DefaultsWithCleanEnvironment) {
+    const Options opts = Options::from_env();
+    EXPECT_GE(opts.threads, 1u);
+    EXPECT_FALSE(opts.obs);
+    EXPECT_FALSE(opts.obs_explicit);
+    EXPECT_EQ(opts.bench_payments, 250'000u);
+    EXPECT_EQ(opts.bench_consensus_scale, 10u);
+    EXPECT_EQ(opts.bench_replay_payments, 40'000u);
+    EXPECT_EQ(opts.bench_datagen_payments, 100'000u);
+    EXPECT_EQ(opts.bench_json_dir, ".");
+}
+
+TEST_F(OptionsTest, ParsesEveryKnob) {
+    ::setenv("XRPL_THREADS", "3", 1);
+    ::setenv("XRPL_OBS", "1", 1);
+    ::setenv("XRPL_BENCH_PAYMENTS", "1234", 1);
+    ::setenv("XRPL_BENCH_CONSENSUS_SCALE", "55", 1);
+    ::setenv("XRPL_BENCH_REPLAY_PAYMENTS", "777", 1);
+    ::setenv("XRPL_BENCH_DATAGEN_PAYMENTS", "4321", 1);
+    ::setenv("XRPL_BENCH_JSON_DIR", "/tmp/reports", 1);
+    const Options opts = Options::from_env();
+    EXPECT_EQ(opts.threads, 3u);
+    EXPECT_TRUE(opts.obs);
+    EXPECT_TRUE(opts.obs_explicit);
+    EXPECT_EQ(opts.bench_payments, 1234u);
+    EXPECT_EQ(opts.bench_consensus_scale, 55u);
+    EXPECT_EQ(opts.bench_replay_payments, 777u);
+    EXPECT_EQ(opts.bench_datagen_payments, 4321u);
+    EXPECT_EQ(opts.bench_json_dir, "/tmp/reports");
+}
+
+TEST_F(OptionsTest, ObsExplicitDistinguishesZeroFromAbsent) {
+    // The bench harness needs "user said 0" vs "user said nothing":
+    // both parse to obs == false, only one is explicit.
+    ::setenv("XRPL_OBS", "0", 1);
+    const Options explicit_off = Options::from_env();
+    EXPECT_FALSE(explicit_off.obs);
+    EXPECT_TRUE(explicit_off.obs_explicit);
+
+    ::unsetenv("XRPL_OBS");
+    const Options absent = Options::from_env();
+    EXPECT_FALSE(absent.obs);
+    EXPECT_FALSE(absent.obs_explicit);
+}
+
+TEST_F(OptionsTest, MalformedValuesFallBack) {
+    ::setenv("XRPL_THREADS", "lots", 1);
+    ::setenv("XRPL_OBS", "yes", 1);
+    ::setenv("XRPL_BENCH_PAYMENTS", "-5", 1);
+    const Options opts = Options::from_env();
+    EXPECT_GE(opts.threads, 1u);
+    EXPECT_FALSE(opts.obs);  // strict flag: only "0"/"1" parse
+    EXPECT_EQ(opts.bench_payments, 250'000u);
+}
+
+TEST_F(OptionsTest, FromEnvReReadsTheEnvironment) {
+    ::setenv("XRPL_THREADS", "2", 1);
+    EXPECT_EQ(Options::from_env().threads, 2u);
+    ::setenv("XRPL_THREADS", "6", 1);
+    EXPECT_EQ(Options::from_env().threads, 6u);  // pure re-parse, no cache
+}
+
+TEST_F(OptionsTest, TableCoversEveryKnobExactlyOnce) {
+    std::set<std::string> names;
+    for (const OptionInfo& row : option_table()) {
+        EXPECT_TRUE(names.insert(row.name).second) << row.name;
+        EXPECT_STRNE(row.description, "") << row.name;
+    }
+    for (const char* name : kAllVars) {
+        EXPECT_TRUE(names.count(name)) << name << " missing from kOptionTable";
+    }
+    EXPECT_EQ(names.size(), std::size(kAllVars));
+}
+
+TEST_F(OptionsTest, MarkdownListsEveryKnob) {
+    const std::string markdown = options_markdown();
+    for (const char* name : kAllVars) {
+        EXPECT_NE(markdown.find(std::string("`") + name + "`"),
+                  std::string::npos)
+            << name;
+    }
+}
+
+}  // namespace
+}  // namespace xrpl::util

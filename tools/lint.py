@@ -16,6 +16,15 @@ Rules (rule ids in brackets):
                         src/exec — scans run on exec::ThreadPool, whose
                         ordered chunk merge keeps every result independent
                         of the thread count.
+  [no-adhoc-timing]     naming a std::chrono clock outside src/obs —
+                        every duration flows through obs::Stopwatch (and
+                        into the metrics registry), so timing stays
+                        observable instead of printed ad hoc.
+  [no-adhoc-env]        env_u64/env_flag/env_string/env_present/getenv
+                        outside src/util — every XRPL_* knob is declared
+                        once in util::Options (options.cpp's kOptionTable),
+                        which keeps the README table, the strict parsers,
+                        and the call sites in one place.
   [no-adhoc-rng]        constructing util::Rng directly (`util::Rng r(seed)`,
                         `util::Rng{seed}`, temporaries) outside src/util and
                         tests — generators must come off the RngStream
@@ -55,7 +64,18 @@ SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
 
 RAND_RE = re.compile(r"(?<![\w:.])(?:std::)?rand\s*\(")
 ATOI_RE = re.compile(r"(?<![\w:.])(?:std::)?(?:atoi|atol|atoll)\s*\(")
-THREAD_RE = re.compile(r"(?<![\w:])std\s*::\s*(?:thread|jthread|async)\b")
+# hardware_concurrency is a pure width probe (util::Options uses it for
+# the XRPL_THREADS default), not thread creation — the lookahead lets
+# it through.
+THREAD_RE = re.compile(
+    r"(?<![\w:])std\s*::\s*"
+    r"(?:jthread|async|thread(?!\s*::\s*hardware_concurrency))\b")
+CHRONO_CLOCK_RE = re.compile(
+    r"std\s*::\s*chrono\s*::\s*"
+    r"(?:steady_clock|system_clock|high_resolution_clock)\b")
+ENV_RE = re.compile(
+    r"(?<![\w:])(?:(?:util\s*::\s*)?env_(?:u64|flag|string|present)"
+    r"|(?:std\s*::\s*)?getenv)\s*\(")
 # A direct util::Rng construction: optional variable name, then a
 # paren/brace initializer. `util::Rng r = ...`, `util::Rng&`, and bare
 # member declarations deliberately don't match; `(?!\w)` keeps
@@ -141,6 +161,14 @@ def strip_comments_and_strings(text):
 def check_content_rules(path, lines, raw_lines, in_src):
     rng_exempt = path.name in ("rng.hpp", "rng.cpp") and "util" in path.parts
     thread_exempt = (REPO / "src" / "exec") in path.parents
+    # src/obs owns the one wall-clock site (obs/stopwatch.hpp).
+    timing_exempt = (REPO / "src" / "obs") in path.parents
+    # src/util owns the environment: the strict parsers (env.*) and the
+    # typed registry (options.*). Tests may probe the parsers directly;
+    # fixtures are linted as product code.
+    env_exempt = (
+        (REPO / "src" / "util") in path.parents
+        or ((REPO / "tests") in path.parents and FIXTURES not in path.parents))
     # Tests may seed scratch generators freely; the derivation-tree
     # discipline binds src/bench/examples. Fixtures are linted as if
     # they were product code so the self-test can exercise the rule.
@@ -161,6 +189,16 @@ def check_content_rules(path, lines, raw_lines, in_src):
                             "raw std::thread/std::async outside src/exec — "
                             "run chunked scans on exec::ThreadPool so "
                             "results stay thread-count independent")
+        if not timing_exempt and CHRONO_CLOCK_RE.search(line):
+            yield Violation(path, lineno, "no-adhoc-timing",
+                            "raw std::chrono clock outside src/obs — time "
+                            "with obs::Stopwatch / obs::ScopedTimer so "
+                            "durations land in the metrics registry")
+        if not env_exempt and ENV_RE.search(line):
+            yield Violation(path, lineno, "no-adhoc-env",
+                            "direct environment read outside src/util — "
+                            "declare the knob in util::Options and read the "
+                            "typed field off util::options()")
         if (not adhoc_rng_exempt and ADHOC_RNG_RE.search(line)
                 and "rng-root" not in raw_lines[lineno - 1]):
             yield Violation(path, lineno, "no-adhoc-rng",
@@ -323,6 +361,8 @@ SELF_TEST_EXPECTATIONS = {
     "bad_includes.cpp": {"include-order"},
     "bad_thread.cpp": {"no-raw-thread"},
     "bad_adhoc_rng.cpp": {"no-adhoc-rng"},
+    "bad_timing.cpp": {"no-adhoc-timing"},
+    "bad_env.cpp": {"no-adhoc-env"},
     "good.cpp": set(),
 }
 

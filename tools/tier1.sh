@@ -15,6 +15,28 @@ cd build && ctest --output-on-failure -j
 for width in 1 8; do
   echo "--- determinism suite at XRPL_THREADS=${width} ---"
   XRPL_THREADS="${width}" ./tests/xrpl_tests \
-    --gtest_filter='DeterminismTest.*:ShardedDeterminismTest.*:ShardedSlicingTest.*' \
+    --gtest_filter='DeterminismTest.*:ShardedDeterminismTest.*:ShardedSlicingTest.*:ObsParityTest.*' \
     --gtest_brief=1
 done
+# Observability smoke run: one real bench through the harness must
+# emit a well-formed BENCH_<name>.json with live metrics and phases.
+echo "--- obs smoke run (fig4 via bench harness) ---"
+obs_dir=$(mktemp -d)
+XRPL_OBS=1 XRPL_BENCH_PAYMENTS=2000 XRPL_BENCH_JSON_DIR="${obs_dir}" \
+  ./bench/fig4_currencies > /dev/null
+python3 - "${obs_dir}/BENCH_fig4_currencies.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    report = json.load(fh)
+assert sorted(report) == ["bench", "obs", "wall_seconds"], sorted(report)
+assert report["bench"] == "fig4_currencies"
+assert report["wall_seconds"] > 0
+obs = report["obs"]
+assert obs["enabled"] is True
+assert obs["counters"].get("datagen.payments", 0) > 0, obs["counters"]
+assert obs["counters"].get("analytics.scans", 0) > 0, obs["counters"]
+assert any(c["name"] == "datagen.generate" for c in obs["phases"]["children"])
+print("obs smoke run OK:", len(obs["counters"]), "counters,",
+      len(obs["histograms"]), "histograms")
+EOF
+rm -rf "${obs_dir}"
