@@ -13,6 +13,7 @@ void parallel_for(std::size_t n, std::size_t grain,
         const std::size_t end = begin + grain < n ? begin + grain : n;
         // A histogram, not a phase: workers record concurrently and a
         // histogram is order-free, so the snapshot stays deterministic.
+        // analyze-shared: order-free histogram; record() is striped-atomic
         const obs::ScopedTimer timer(chunk_ns);
         body(begin, end);
     });

@@ -12,11 +12,13 @@ namespace {
 
 // The shared pool and its test override live behind one mutex; the
 // pointers are read once per run() call, so contention is noise.
+// analyze-shared: guards the one sanctioned singleton (the shared pool)
 std::mutex g_shared_mutex;
 std::unique_ptr<ThreadPool>& shared_slot() {
     static std::unique_ptr<ThreadPool> pool;
     return pool;
 }
+// analyze-shared: ScopedParallelism test hook; reads/writes hold g_shared_mutex
 ThreadPool* g_override = nullptr;
 
 }  // namespace

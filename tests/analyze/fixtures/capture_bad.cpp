@@ -1,0 +1,24 @@
+// Analyzer fixture: every write below shares mutable state across
+// pool workers — must trigger [capture-race] (and nothing else).
+// Never compiled; tools/analyze --self-test pins the diagnostics.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+std::size_t racy_sum(const std::vector<std::size_t>& rows) {
+    std::size_t total = 0;
+    std::vector<std::size_t> log;
+    static std::size_t calls = 0;
+    exec::parallel_for(rows.size(), 8192,
+                       [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t r = begin; r < end; ++r) {
+                               total += rows[r];        // racing accumulator
+                               log.push_back(rows[r]);  // racing container
+                           }
+                           ++calls;  // function-local static
+                       });
+    return total;
+}
+
+}  // namespace fixture

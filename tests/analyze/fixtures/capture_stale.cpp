@@ -1,0 +1,15 @@
+// Analyzer fixture: an `// analyze-shared` annotation with nothing
+// left to excuse — must trigger [stale-annotation] only, so the
+// allowlist ratchets down instead of accreting.
+#include <cstddef>
+
+namespace fixture {
+
+std::size_t well_behaved(std::size_t n) {
+    std::size_t acc = 0;
+    // analyze-shared: left behind after a refactor
+    acc += n;
+    return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Analyzer fixture: hidden mutable globals — every declaration below
+// must trigger [global-state] (and nothing else). Never compiled.
+#include <cstddef>
+
+namespace fixture {
+
+std::size_t g_calls = 0;                 // plain mutable global
+static bool g_flag = false;              // internal linkage changes nothing
+thread_local std::size_t g_scratch = 0;  // per-thread is still order-coupled
+const char* g_name = "fixture";          // mutable POINTER to const
+
+constexpr std::size_t kLimit = 8;  // fine: constexpr
+const std::size_t kFloor = 1;      // fine: const object
+
+}  // namespace fixture

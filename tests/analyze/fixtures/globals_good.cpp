@@ -1,0 +1,30 @@
+// Analyzer fixture: the benign namespace-scope shapes — constants,
+// functions, types, aliases, and a function-local static (pass 2's
+// jurisdiction, not this pass's). Must stay silent. Never compiled.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline constexpr std::size_t kChunkRows = 8192;
+constexpr double kRatio = 0.5;
+const std::size_t kTableBytes = sizeof(std::size_t) * kChunkRows;
+
+struct Stats {
+    std::size_t rows = 0;
+};
+
+enum class Mode { kSerial, kChunked };
+
+using RowVector = std::vector<std::size_t>;
+
+std::size_t cached_parallelism();
+
+inline std::size_t add_pair(std::size_t a, std::size_t b) { return a + b; }
+
+std::size_t cached_parallelism() {
+    static std::size_t width = add_pair(1, 3);
+    return width;
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Layer fixture (violating): core → util is legal on its own, but
+// util/low.hpp includes this file back, closing a cycle.
+#pragma once
+
+#include "util/low.hpp"
+
+namespace fixture_core {
+inline int high() { return 2; }
+}  // namespace fixture_core

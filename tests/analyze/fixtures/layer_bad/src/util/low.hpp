@@ -1,0 +1,10 @@
+// Layer fixture (violating): util is a leaf — including core is an
+// upward edge ([layer-edge]) and, with core/high.hpp including us
+// back, an include cycle ([layer-cycle]).
+#pragma once
+
+#include "core/high.hpp"
+
+namespace fixture_util {
+inline int low() { return 1; }
+}  // namespace fixture_util

@@ -1,0 +1,6 @@
+// Layer fixture (clean): core → ledger is a declared downward edge.
+#include "ledger/rows.hpp"
+
+namespace fixture_core {
+int scan_bit(int v) { return fixture_ledger::row_bit(v); }
+}  // namespace fixture_core

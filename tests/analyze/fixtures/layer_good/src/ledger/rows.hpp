@@ -1,0 +1,8 @@
+// Layer fixture (clean): ledger → util is a declared downward edge.
+#pragma once
+
+#include "util/bits.hpp"
+
+namespace fixture_ledger {
+inline int row_bit(int v) { return fixture_util::low_bit(v); }
+}  // namespace fixture_ledger

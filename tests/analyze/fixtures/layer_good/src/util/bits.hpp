@@ -1,0 +1,7 @@
+// Layer fixture (clean): util sits at the bottom of the DAG and
+// includes nothing.
+#pragma once
+
+namespace fixture_util {
+inline int low_bit(int v) { return v & -v; }
+}  // namespace fixture_util

@@ -1,0 +1,8 @@
+// The ONLY "#pragma once" in this header is inside a raw string — the
+// tokenizer-backed [pragma-once] rule must still flag the file.
+
+namespace lint_fixture {
+inline const char* fake_guard() {
+    return R"(#pragma once)";
+}
+}  // namespace lint_fixture

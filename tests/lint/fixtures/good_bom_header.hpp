@@ -1,0 +1,7 @@
+﻿// This header opens with a UTF-8 BOM and a comment before the
+// directive — [pragma-once] must still see the genuine #pragma once.
+#pragma once
+
+namespace lint_fixture {
+inline int bom_ok() { return 1; }
+}  // namespace lint_fixture

@@ -1,0 +1,25 @@
+// Tokenizer edge cases the line-regex linter used to trip over. This
+// fixture must lint CLEAN: every apparent violation below lives inside
+// a comment or a string literal.
+#include <string>
+
+/*
+#include <zzz_unsorted.hpp>
+#include "totally/../bogus.hpp"
+int r = rand();
+*/
+
+namespace lint_fixture {
+
+// rand() and atoi( in prose — a comment, not a call.
+inline std::string tricky() {
+    // The raw string below contains an #include directive, a quote,
+    // and a rand() call; none of it is code.
+    return R"lint(
+#include <aaa_should_sort_first.hpp>
+const char* s = "quoted \" mid";
+int x = rand();
+)lint";
+}
+
+}  // namespace lint_fixture

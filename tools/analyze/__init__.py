@@ -1,0 +1,6 @@
+"""Layer-graph and concurrency-capture static analyzer (DESIGN.md §14).
+
+Run as `python3 tools/analyze` (or `cmake --build build --target
+analyze`); `tools/lint.py` imports `tools.analyze.cxxtok`, the shared
+C++ tokenizer.
+"""

@@ -1,0 +1,15 @@
+"""Entry point: `python3 tools/analyze` (the directory) and
+`python3 -m tools.analyze` (from the repo root) both land here."""
+
+import sys
+from pathlib import Path
+
+# Make `tools.analyze.*` absolute imports resolve no matter how we
+# were invoked (directory execution puts tools/analyze itself on
+# sys.path, not the repo root).
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent.parent))
+
+from tools.analyze.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,267 @@
+"""A real C++ tokenizer — comment, string, raw-string, and char-literal
+aware — shared by tools/analyze (the static analyzer) and tools/lint.py.
+
+This exists because line regexes cannot tell a commented-out
+`#include` from a live one, or `#pragma once` inside a raw string from
+the directive. Everything both tools know about C++ source flows
+through `tokenize()`:
+
+  * `stripped_lines(text)`   — comments and literal contents blanked,
+                               line structure preserved (content rules).
+  * `extract_includes(text)` — genuine #include directives only.
+  * `has_pragma_once(text)`  — a genuine `#pragma once` directive,
+                               tolerant of a BOM or leading comments.
+  * `comment_lines(text)`    — line -> comment text, for annotation
+                               grammars (`// rng-root`,
+                               `// analyze-shared: <reason>`).
+
+Token kinds: id, num, str, raw, chr, comment, punct. Each token knows
+its 1-based line and its [start, end) span in the source, so callers
+can slice the original text (include targets) or blank it (stripping).
+
+Stdlib-only, like everything under tools/.
+"""
+
+from collections import namedtuple
+
+Tok = namedtuple("Tok", "kind text line start end")
+
+# Longest-match first. Only operators a pass cares to see as one token
+# need to be here; everything else falls through to single chars.
+_PUNCTS = (
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=", "*=",
+    "/=", "%=", "&=", "|=", "^=", "==", "!=", "<=", ">=", "&&", "||",
+    "<<", ">>",
+)
+
+_STR_PREFIXES = ("u8", "u", "U", "L")
+
+
+def _id_start(c):
+    return c.isalpha() or c == "_"
+
+
+def _id_char(c):
+    return c.isalnum() or c == "_"
+
+
+def tokenize(text):
+    """Tokenize C++ source. Never raises on malformed input: an
+    unterminated literal or comment simply runs to end of file."""
+    if text.startswith("\ufeff"):  # BOM: invisible to the language
+        text = " " + text[1:]
+    toks = []
+    i, n, line = 0, len(text), 1
+
+    def emit(kind, start, end):
+        toks.append(Tok(kind, text[start:end], line, start, end))
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c.isspace():
+            i += 1
+            continue
+        if c == "/" and nxt == "/":
+            start = i
+            while i < n and text[i] != "\n":
+                i += 1
+            emit("comment", start, i)
+            continue
+        if c == "/" and nxt == "*":
+            start, start_line = i, line
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and
+                                 text[i + 1] == "/"):
+                if text[i] == "\n":
+                    line += 1
+                i += 1
+            i = min(i + 2, n)
+            toks.append(Tok("comment", text[start:i], start_line, start, i))
+            continue
+        # String/char prefixes and raw strings: R"delim( ... )delim".
+        if _id_start(c):
+            start = i
+            while i < n and _id_char(text[i]):
+                i += 1
+            word = text[start:i]
+            is_raw = (word in ("R", "u8R", "uR", "UR", "LR") and
+                      i < n and text[i] == '"')
+            is_str = (word in _STR_PREFIXES and i < n and
+                      text[i] in "\"'")
+            if is_raw:
+                # R"delim( ... )delim"
+                j = i + 1
+                while j < n and text[j] not in "(\n":
+                    j += 1
+                delim = text[i + 1:j]
+                close = ")" + delim + '"'
+                end = text.find(close, j)
+                end = n if end == -1 else end + len(close)
+                start_line = line
+                line += text.count("\n", start, end)
+                toks.append(Tok("raw", text[start:end], start_line, start, end))
+                i = end
+                continue
+            if is_str:
+                # Fall through to quote scanning below with the prefix
+                # folded into the literal token.
+                quote = text[i]
+                j = _scan_quoted(text, i, quote)
+                start_line = line
+                line += text.count("\n", start, j)
+                kind = "str" if quote == '"' else "chr"
+                toks.append(Tok(kind, text[start:j], start_line, start, j))
+                i = j
+                continue
+            emit("id", start, i)
+            continue
+        if c == '"' or c == "'":
+            # A ' right after an identifier/number was consumed there;
+            # here it begins a literal.
+            start = i
+            j = _scan_quoted(text, i, c)
+            start_line = line
+            line += text.count("\n", start, j)
+            toks.append(Tok("str" if c == '"' else "chr",
+                            text[start:j], start_line, start, j))
+            i = j
+            continue
+        if c.isdigit() or (c == "." and nxt.isdigit()):
+            start = i
+            i += 1
+            while i < n:
+                ch = text[i]
+                if ch.isalnum() or ch in "._'":
+                    i += 1
+                elif ch in "+-" and text[i - 1] in "eEpP":
+                    i += 1
+                else:
+                    break
+            emit("num", start, i)
+            continue
+        matched = False
+        for op in _PUNCTS:
+            if text.startswith(op, i):
+                emit("punct", i, i + len(op))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            emit("punct", i, i + 1)
+            i += 1
+    return toks
+
+
+def _scan_quoted(text, i, quote):
+    """Scan a quoted literal starting at the quote; return the index
+    one past the closing quote. A newline ends the literal (macro line
+    continuations and broken code must not swallow the file)."""
+    n = len(text)
+    j = i + 1
+    while j < n:
+        ch = text[j]
+        if ch == "\\":
+            j += 2
+            continue
+        if ch == quote:
+            return j + 1
+        if ch == "\n":
+            return j  # unterminated: stop at the line break
+        j += 1
+    return n
+
+
+def stripped_lines(text):
+    """The source with comments and string/char/raw-string contents
+    blanked to spaces, preserving line structure — the canonical input
+    for content rules that must not fire on prose or test data."""
+    out = list(text[1:] if text.startswith("\ufeff") else text)
+    if text.startswith("\ufeff"):
+        out.insert(0, " ")
+    for tok in tokenize(text):
+        if tok.kind in ("comment", "str", "raw", "chr"):
+            for k in range(tok.start, min(tok.end, len(out))):
+                if out[k] != "\n":
+                    out[k] = " "
+    return "".join(out)
+
+
+def _directive_starts(toks):
+    """Indices of '#' tokens that begin a preprocessor directive (first
+    token on their line, comments aside)."""
+    starts = []
+    prev_code_line = 0
+    for idx, tok in enumerate(toks):
+        if tok.kind == "comment":
+            continue
+        if tok.kind == "punct" and tok.text == "#" and tok.line != prev_code_line:
+            starts.append(idx)
+        prev_code_line = tok.line
+    return starts
+
+
+def _next_code(toks, idx):
+    idx += 1
+    while idx < len(toks) and toks[idx].kind == "comment":
+        idx += 1
+    return idx
+
+
+def extract_includes(text):
+    """[(lineno, style, target)] for genuine #include directives:
+    style is '\"' or '<'. Commented-out includes and includes inside
+    (raw) string literals never appear here."""
+    toks = tokenize(text)
+    includes = []
+    for start in _directive_starts(toks):
+        j = _next_code(toks, start)
+        if j >= len(toks) or toks[j].text != "include":
+            continue
+        j = _next_code(toks, j)
+        if j >= len(toks):
+            continue
+        tok = toks[j]
+        if tok.kind == "str":
+            includes.append((tok.line, '"', tok.text.strip('"')))
+        elif tok.text == "<":
+            k = j
+            while k < len(toks) and toks[k].text != ">" and \
+                    toks[k].line == tok.line:
+                k += 1
+            if k < len(toks) and toks[k].text == ">":
+                target = text[toks[j].end:toks[k].start]
+                includes.append((tok.line, "<", target))
+    return includes
+
+
+def has_pragma_once(text):
+    """True iff the file carries a genuine `#pragma once` directive —
+    a BOM or preceding comments don't matter, a raw string containing
+    the words does not count."""
+    toks = tokenize(text)
+    for start in _directive_starts(toks):
+        j = _next_code(toks, start)
+        if j < len(toks) and toks[j].text == "pragma":
+            k = _next_code(toks, j)
+            if k < len(toks) and toks[k].text == "once":
+                return True
+    return False
+
+
+def comment_lines(text):
+    """{lineno: concatenated comment text on that line} — the lookup
+    table for line-anchored annotation grammars. Multi-line block
+    comments contribute each of their lines."""
+    table = {}
+    for tok in tokenize(text):
+        if tok.kind != "comment":
+            continue
+        for offset, chunk in enumerate(tok.text.splitlines()):
+            lineno = tok.line + offset
+            table[lineno] = table.get(lineno, "") + chunk
+    return table

@@ -1,0 +1,62 @@
+"""Shared finding type and the `// analyze-shared` annotation grammar.
+
+Annotation grammar (DESIGN.md §14):
+
+    // analyze-shared: <non-empty reason>
+
+A finding is suppressed when the annotation sits on the flagged line
+or the line immediately above it. Every annotation must suppress at
+least one finding in its file — a stale annotation (nothing left to
+excuse) is itself an error, so the allowlist ratchets down instead of
+accreting. The marker without a reason suppresses nothing.
+"""
+
+import re
+
+ANNOTATION_RE = re.compile(r"analyze-shared\s*:\s*(\S.*)")
+ANNOTATION_MARKER = "analyze-shared"
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Annotations:
+    """Per-file `// analyze-shared:` annotations with use tracking."""
+
+    def __init__(self, comment_table):
+        self.reasons = {}  # line -> reason text
+        self.malformed = []  # lines carrying the marker but no reason
+        for line, text in comment_table.items():
+            if ANNOTATION_MARKER not in text:
+                continue
+            m = ANNOTATION_RE.search(text)
+            if m:
+                self.reasons[line] = m.group(1).strip()
+            else:
+                self.malformed.append(line)
+        self.used = set()
+
+    def suppresses(self, line):
+        """True when `line` (or the line above) carries a reasoned
+        annotation; marks that annotation as earning its keep."""
+        for candidate in (line, line - 1):
+            if candidate in self.reasons:
+                self.used.add(candidate)
+                return True
+        return False
+
+    def stale(self):
+        """[(line, why)] for annotations that must be deleted."""
+        out = [(line, "suppresses nothing — delete it")
+               for line in sorted(set(self.reasons) - self.used)]
+        out.extend((line, "has no reason after the colon")
+                   for line in sorted(self.malformed))
+        return out

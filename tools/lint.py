@@ -4,6 +4,12 @@
 Stdlib-only; runs as a ctest test (`lint.tree`, `lint.selftest`), via
 `cmake --build build --target lint`, and from tools/tier1.sh.
 
+All comment/string awareness comes from the shared C++ tokenizer
+(tools/analyze/cxxtok.py): content rules scan tokenizer-stripped
+lines, and [pragma-once]/[include-order] see only genuine
+preprocessor directives — a commented-out `#include` or a raw string
+spelling `#pragma once` no longer fools them.
+
 Rules (rule ids in brackets):
 
   [no-rand]             rand()/std::rand() anywhere outside src/util/rng.*
@@ -57,8 +63,13 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO))
+
+from tools.analyze import cxxtok  # noqa: E402  (path bootstrap above)
+
 SCAN_ROOTS = ("src", "tests", "bench", "examples")
 FIXTURES = REPO / "tests" / "lint" / "fixtures"
+ANALYZE_FIXTURES = REPO / "tests" / "analyze" / "fixtures"
 HEADER_SUFFIXES = {".hpp", ".h"}
 SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
 
@@ -82,7 +93,6 @@ ENV_RE = re.compile(
 # util::RngStream out.
 ADHOC_RNG_RE = re.compile(r"util\s*::\s*Rng(?!\w)\s*(?:[A-Za-z_]\w*\s*)?[({]")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
-INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
 MIX_RE = re.compile(r"\.\s*mix\s*\(")
 DOMAIN_TAG_RE = re.compile(r"k\w*Domain\b|word")
 
@@ -97,65 +107,6 @@ class Violation:
     def __str__(self):
         rel = self.path.relative_to(REPO) if self.path.is_absolute() else self.path
         return f"{rel}:{self.line}: [{self.rule}] {self.message}"
-
-
-def strip_comments_and_strings(text):
-    """Blank out comments and string/char literals, preserving line
-    structure, so content rules don't fire on prose or test data."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line_comment | block_comment | string | char
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "string"
-                out.append(c)
-            elif c == "'":
-                state = "char"
-                out.append(c)
-            else:
-                out.append(c)
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        elif state in ("string", "char"):
-            quote = '"' if state == "string" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-                out.append(c)
-            elif c == "\n":  # unterminated (macro line continuation etc.)
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        i += 1
-    return "".join(out)
 
 
 def check_content_rules(path, lines, raw_lines, in_src):
@@ -248,22 +199,19 @@ def check_fingerprint_domains(path, lines):
 def check_header_rules(path, raw_text):
     if path.suffix not in HEADER_SUFFIXES:
         return
-    if "#pragma once" not in raw_text:
+    if not cxxtok.has_pragma_once(raw_text):
         yield Violation(path, 1, "pragma-once", "header lacks #pragma once")
 
 
-def check_include_rules(path, lines):
-    includes = []  # (lineno0, style, target)
-    for lineno0, line in enumerate(lines):
-        m = INCLUDE_RE.match(line)
-        if m:
-            token = m.group(1)
-            includes.append((lineno0, token[0], token[1:-1]))
+def check_include_rules(path, raw_text):
+    # Genuine directives only — the tokenizer already discarded
+    # commented-out includes and `#include` spelled inside raw strings.
+    includes = cxxtok.extract_includes(raw_text)  # (lineno, style, target)
 
-    for lineno0, style, target in includes:
+    for lineno, style, target in includes:
         if style == '"':
             if ".." in target.split("/"):
-                yield Violation(path, lineno0 + 1, "include-order",
+                yield Violation(path, lineno, "include-order",
                                 f'"{target}" climbs directories — include '
                                 "project headers relative to src/")
             elif not ((REPO / "src" / target).exists() or
@@ -272,12 +220,12 @@ def check_include_rules(path, lines):
                 # src/ is every target's include dir; bench/example
                 # binaries additionally get the repo root (for
                 # "bench/common.hpp").
-                yield Violation(path, lineno0 + 1, "include-order",
+                yield Violation(path, lineno, "include-order",
                                 f'"{target}" resolves against neither src/, '
                                 "the repo root, nor the including directory")
         else:
             if (REPO / "src" / target).exists():
-                yield Violation(path, lineno0 + 1, "include-order",
+                yield Violation(path, lineno, "include-order",
                                 f"project header <{target}> must use "
                                 'quotes ("...")')
 
@@ -288,18 +236,18 @@ def check_include_rules(path, lines):
         rel = None
     if rel is not None and path.suffix == ".cpp" and includes:
         own = rel.with_suffix(".hpp").as_posix()
-        _, style, target = includes[0]
+        lineno, style, target = includes[0]
         if style != '"' or target != own:
-            yield Violation(path, includes[0][0] + 1, "include-order",
+            yield Violation(path, lineno, "include-order",
                             f'first include must be the own header "{own}"')
 
     # Contiguous runs: single style, sorted.
     run = []
-    for idx, (lineno0, style, target) in enumerate(includes):
-        if run and lineno0 != run[-1][0] + 1:
+    for lineno, style, target in includes:
+        if run and lineno != run[-1][0] + 1:
             yield from check_run(path, run)
             run = []
-        run.append((lineno0, style, target))
+        run.append((lineno, style, target))
     if run:
         yield from check_run(path, run)
 
@@ -307,25 +255,23 @@ def check_include_rules(path, lines):
 def check_run(path, run):
     styles = {style for _, style, _ in run}
     if len(styles) > 1:
-        yield Violation(path, run[0][0] + 1, "include-order",
+        yield Violation(path, run[0][0], "include-order",
                         "mixed <> and \"\" includes in one block — separate "
                         "system and project includes with a blank line")
         return
     targets = [target for _, _, target in run]
     if targets != sorted(targets):
-        yield Violation(path, run[0][0] + 1, "include-order",
+        yield Violation(path, run[0][0], "include-order",
                         "include block is not lexicographically sorted")
 
 
 def lint_file(path, in_src):
     raw_text = path.read_text(encoding="utf-8")
-    stripped = strip_comments_and_strings(raw_text)
+    stripped = cxxtok.stripped_lines(raw_text)
     yield from check_content_rules(path, stripped.splitlines(),
                                    raw_text.splitlines(), in_src)
     yield from check_header_rules(path, raw_text)
-    # Include rules read the raw lines: the targets live inside string
-    # literals, which the stripper blanks out.
-    yield from check_include_rules(path, raw_text.splitlines())
+    yield from check_include_rules(path, raw_text)
 
 
 def tree_files():
@@ -333,8 +279,8 @@ def tree_files():
         for path in sorted((REPO / root).rglob("*")):
             if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
                 continue
-            if FIXTURES in path.parents:
-                continue  # deliberately-bad linter fixtures
+            if FIXTURES in path.parents or ANALYZE_FIXTURES in path.parents:
+                continue  # deliberately-bad linter/analyzer fixtures
             yield path
 
 
@@ -363,7 +309,10 @@ SELF_TEST_EXPECTATIONS = {
     "bad_adhoc_rng.cpp": {"no-adhoc-rng"},
     "bad_timing.cpp": {"no-adhoc-timing"},
     "bad_env.cpp": {"no-adhoc-env"},
+    "bad_raw_pragma.hpp": {"pragma-once"},
     "good.cpp": set(),
+    "good_tricky.cpp": set(),
+    "good_bom_header.hpp": set(),
 }
 
 

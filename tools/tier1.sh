@@ -5,6 +5,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 python3 tools/lint.py
+python3 tools/analyze --out build/analyze
 cmake -B build -S . -DXRPL_WERROR=ON
 cmake --build build -j
 cd build && ctest --output-on-failure -j
