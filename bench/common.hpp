@@ -1,15 +1,30 @@
 // Shared setup for the figure/table reproduction benches.
 //
-// The synthetic history is generated ONCE per process (see dataset())
-// from a fixed seed, so every bench in a binary — and every bench
-// binary — sees the same mutually consistent, bit-stable payments.
-// XRPL_BENCH_PAYMENTS scales the history (default 250,000 payments,
-// ~1/90 of the paper's 23M — all rates preserved).
+// Three tiers of shared data, each built ONCE per process from the
+// same fixed-seed config, so every bench in a binary — and every
+// bench binary — sees the same mutually consistent, bit-stable
+// payments. XRPL_BENCH_PAYMENTS scales the history (default 250,000
+// payments, ~1/90 of the paper's 23M — all rates preserved).
+//
+//  * dataset_payments() — the columnar payment store only. Served
+//    through the XRPL_DATASET_DIR snapshot cache (src/snap/): with
+//    the cache primed, benches that scan payments skip generation
+//    entirely. Most figure benches want exactly this.
+//  * dataset_population() — the account roster + initial ledger,
+//    regenerated cheaply (no payment workload) and byte-identical to
+//    the population inside the full run.
+//  * dataset() — the complete GeneratedHistory, for benches that
+//    need streamed aggregates or the final ledger. Never cacheable:
+//    the cache persists payments, not ledger state.
+//
+// Cache hit or miss, stdout is byte-identical — status lines mention
+// only the config and the (deterministic) result counts.
 #pragma once
 
 #include <iostream>
 #include <string>
 
+#include "datagen/dataset.hpp"
 #include "datagen/history.hpp"
 #include "util/options.hpp"
 
@@ -31,8 +46,36 @@ inline void print_paper_note(const std::string& note) {
     std::cout << "paper: " << note << "\n";
 }
 
-/// The shared bench dataset, built on first use and reused by every
-/// bench in the process.
+/// The shared payment store: cache-or-generate via
+/// datagen::load_or_generate_payments, built on first use.
+inline const ledger::PaymentColumns& dataset_payments() {
+    static const ledger::PaymentColumns columns = [] {
+        const datagen::GeneratorConfig config = default_history_config();
+        std::cout << "[dataset: " << config.target_payments
+                  << " payments, seed " << config.seed << " ...]\n";
+        ledger::PaymentColumns loaded =
+            datagen::load_or_generate_payments(config);
+        std::cout << "[ready: " << loaded.size() << " payments, "
+                  << loaded.accounts.size() << " accounts, "
+                  << loaded.currencies.size() << " currencies]\n\n";
+        return loaded;
+    }();
+    return columns;
+}
+
+/// The shared population snapshot (roster + initial ledger), built on
+/// first use. Pairs exactly with dataset_payments(): both derive from
+/// default_history_config()'s seed.
+inline const datagen::PopulationSnapshot& dataset_population() {
+    static const datagen::PopulationSnapshot snapshot =
+        datagen::generate_population_only(default_history_config());
+    return snapshot;
+}
+
+/// The complete shared history, built on first use and reused by
+/// every bench in the process. Benches that only scan payments should
+/// prefer dataset_payments() — it can be served from the snapshot
+/// cache; this never can.
 inline const datagen::GeneratedHistory& dataset() {
     static const datagen::GeneratedHistory history = [] {
         const datagen::GeneratorConfig config = default_history_config();

@@ -15,13 +15,14 @@
 XRPL_BENCH("ext_anonymity_sets", "Extension",
            "anonymity-set size distribution") {
     using namespace xrpl;
-    const datagen::GeneratedHistory& history = bench::dataset();
+    // Payments only — cache-served when XRPL_DATASET_DIR is primed.
+    const ledger::PaymentColumns& payments = bench::dataset_payments();
 
     util::TextTable table({"configuration", "set=1 (IG)", "set<=3", "set<=10",
                            "mean set", "90% within"});
     for (const core::ResolutionConfig& config : core::fig3_configurations()) {
         const core::AnonymityProfile profile =
-            core::analyze_anonymity(history.payments.view(), config);
+            core::analyze_anonymity(payments.view(), config);
         table.add_row({config.label(),
                        util::format_percent(profile.identifiable_within(1)),
                        util::format_percent(profile.identifiable_within(3)),

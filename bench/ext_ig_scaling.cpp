@@ -17,7 +17,8 @@
 XRPL_BENCH("ext_ig_scaling", "Extension",
            "information gain vs history size") {
     using namespace xrpl;
-    const datagen::GeneratedHistory& history = bench::dataset();
+    // Payments only — cache-served when XRPL_DATASET_DIR is primed.
+    const ledger::PaymentColumns& payments = bench::dataset_payments();
 
     const core::ResolutionConfig configs[] = {
         core::fig3_configurations()[0],  // <Am; Tsc; C; D>
@@ -32,9 +33,8 @@ XRPL_BENCH("ext_ig_scaling", "Extension",
 
     for (const double fraction : {0.05, 0.10, 0.25, 0.50, 1.00}) {
         const auto count = static_cast<std::size_t>(
-            fraction * static_cast<double>(history.payments.size()));
-        const core::Deanonymizer deanonymizer(
-            history.payments.view().prefix(count));
+            fraction * static_cast<double>(payments.size()));
+        const core::Deanonymizer deanonymizer(payments.view().prefix(count));
         std::vector<std::string> row = {
             util::format_percent(fraction), util::format_count(count)};
         for (const auto& config : configs) {

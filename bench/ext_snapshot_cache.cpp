@@ -1,0 +1,84 @@
+// Extension — snapshot cache: cold generate+store vs warm load.
+//
+// Measures what the XCOL dataset cache (src/snap/) buys: one
+// cache-miss pass (generate the history, encode, publish) against one
+// cache-hit pass (read + decode + verify the same artifact), as JSON
+// (one object, stdout). The hit must be markedly faster — loading a
+// columnar snapshot is a streaming varint decode, generating it is
+// the whole payment-engine pipeline — and byte-identical: both passes
+// fingerprint their store and the bench fails on any drift.
+//
+// The cache roots at XRPL_DATASET_DIR when set; otherwise a
+// throwaway directory under XRPL_BENCH_JSON_DIR, evicted afterwards
+// so a default run leaves nothing behind. snap.cache.* counters and
+// timing histograms land in BENCH_ext_snapshot_cache.json.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "bench/harness.hpp"
+#include "datagen/dataset.hpp"
+#include "ledger/payment_columns.hpp"
+#include "obs/stopwatch.hpp"
+#include "snap/dataset_cache.hpp"
+#include "util/file_io.hpp"
+#include "util/options.hpp"
+
+XRPL_BENCH("ext_snapshot_cache", "Extension",
+           "dataset cache: cold generate+store vs warm snapshot load") {
+    using namespace xrpl;
+
+    datagen::GeneratorConfig config = bench::default_history_config();
+    const std::string key = datagen::dataset_key(config);
+
+    const std::string configured = util::options().dataset_dir;
+    const bool throwaway = configured.empty();
+    const std::string root =
+        throwaway ? util::options().bench_json_dir + "/xcol_cache_bench"
+                  : configured;
+    const snap::DatasetCache cache(root);
+
+    // Cold pass: force a miss (evict any primed entry first) so the
+    // measured path is generate + encode + publish.
+    util::remove_file(cache.path_for(key));
+    const obs::Stopwatch cold_watch;
+    const ledger::PaymentColumns generated = cache.load_or_generate(
+        key, [&config] { return datagen::generate_history(config).payments; });
+    const double cold_seconds = cold_watch.elapsed_seconds();
+
+    // Warm pass: the artifact exists, so this is read + CRC/seal
+    // verify + parallel decode.
+    const obs::Stopwatch warm_watch;
+    const ledger::PaymentColumns loaded = cache.load_or_generate(
+        key, [&config] { return datagen::generate_history(config).payments; });
+    const double warm_seconds = warm_watch.elapsed_seconds();
+
+    const std::string cold_print = ledger::columns_fingerprint(generated);
+    const std::string warm_print = ledger::columns_fingerprint(loaded);
+    if (cold_print != warm_print) {
+        std::cerr << "FATAL: loaded snapshot drifted from generated store\n"
+                  << "  generated " << cold_print << "\n  loaded    "
+                  << warm_print << "\n";
+        return 1;
+    }
+
+    const auto artifact_bytes = util::file_size(cache.path_for(key));
+    if (throwaway) {
+        util::remove_file(cache.path_for(key));
+    }
+
+    std::cout << "{\n"
+              << "  \"bench\": \"ext_snapshot_cache\",\n"
+              << "  \"payments\": " << loaded.size() << ",\n"
+              << "  \"fingerprint\": \"" << warm_print << "\",\n"
+              << "  \"artifact_bytes\": " << artifact_bytes.value_or(0) << ",\n"
+              << "  \"cold_generate_seconds\": " << cold_seconds << ",\n"
+              << "  \"warm_load_seconds\": " << warm_seconds << ",\n"
+              << "  \"speedup\": " << cold_seconds / warm_seconds << "\n"
+              << "}\n";
+
+    if (warm_seconds >= cold_seconds) {
+        std::cerr << "FATAL: warm load was not faster than regeneration\n";
+        return 1;
+    }
+    return 0;
+}

@@ -11,11 +11,12 @@
 XRPL_BENCH("fig4_currencies", "Fig 4",
            "most used currencies, by payment count") {
     using namespace xrpl;
-    const datagen::GeneratedHistory& history = bench::dataset();
+    // Cacheable payments + cheap population rebuild — no full history.
+    const ledger::PaymentColumns& payments = bench::dataset_payments();
 
     // Chunk-parallel scan of the currency column (identical to the
     // streamed history.currency_counts — pinned by test_determinism).
-    const auto ranked = analytics::rank_currencies(history.payments.view());
+    const auto ranked = analytics::rank_currencies(payments.view());
     std::vector<util::Bar> bars;
     for (const analytics::CurrencyCount& row : ranked) {
         if (row.payments < 2) continue;  // Fig 4 cuts off around 10^2
@@ -28,8 +29,8 @@ XRPL_BENCH("fig4_currencies", "Fig 4",
     options.value_header = "# payments";
     render_bar_chart(std::cout, bars, options);
 
-    const datagen::SpamBreakdown spam =
-        datagen::spam_breakdown(history.payments.view(), history.population);
+    const datagen::SpamBreakdown spam = datagen::spam_breakdown(
+        payments.view(), bench::dataset_population().population);
     std::cout << "\nspam share of the stream: mtl="
               << util::format_count(spam.mtl)
               << "  cck=" << util::format_count(spam.cck)

@@ -12,11 +12,10 @@
 XRPL_BENCH("fig5_survival", "Fig 5",
            "survival function of payment amounts") {
     using namespace xrpl;
-    const datagen::GeneratedHistory& history = bench::dataset();
-
     // Chunk-parallel scans of the amount column (identical to the
     // streamed per-currency samples — pinned by test_determinism).
-    const ledger::PaymentView view = history.payments.view();
+    // Payments only, so the snapshot cache can serve the whole bench.
+    const ledger::PaymentView view = bench::dataset_payments().view();
 
     const char* codes[] = {"BTC", "CCK", "CNY", "EUR", "MTL", "USD", "XRP"};
     std::vector<std::pair<std::string, analytics::SurvivalFunction>> curves;

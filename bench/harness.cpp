@@ -1,15 +1,16 @@
 #include "bench/harness.hpp"
 
 #include <cstring>
-#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/stopwatch.hpp"
+#include "util/file_io.hpp"
 #include "util/options.hpp"
 
 namespace xrpl::bench {
@@ -33,15 +34,15 @@ void print_header(const BenchInfo& info) {
 void write_report(const BenchInfo& info, double wall_seconds) {
     const std::string path = util::options().bench_json_dir + "/BENCH_" +
                              std::string(info.name) + ".json";
-    std::ofstream os(path);
-    if (!os) {
-        std::cerr << "warning: cannot write " << path << "\n";
-        return;
-    }
+    std::ostringstream os;
     os << "{\"bench\":\"" << info.name << "\",\"obs\":";
     obs::write_json(os);
     os << ",\"wall_seconds\":" << std::setprecision(6) << std::fixed
        << wall_seconds << "}\n";
+    if (!util::write_text_file(path, os.str())) {
+        std::cerr << "warning: cannot write " << path << "\n";
+        return;
+    }
     // stderr, not stdout: a bench's stdout is its analytical output and
     // stays byte-identical whether or not recording (and so the report)
     // is enabled.

@@ -4,16 +4,20 @@
 //   export_history generate <path> [payments]   build + save a history
 //   export_history analyze <path>               load + run the IG study
 //
-// With no arguments it does both against a temporary file.
+// With no arguments it does both against a temporary file. The
+// artifact is an XCOL columnar snapshot (src/snap/): chunked,
+// varint/delta-encoded, CRC'd per chunk, sha256-sealed — the same
+// format the XRPL_DATASET_DIR cache serves benches from, so a file
+// exported here is inspectable with `snapctl info`.
 #include <charconv>
-#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "core/ig_study.hpp"
 #include "datagen/history.hpp"
-#include "ledger/codec.hpp"
+#include "snap/xcol.hpp"
+#include "util/file_io.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -28,25 +32,27 @@ int generate(const std::string& path, std::uint64_t payments) {
     config.num_merchants = 300;
     std::cout << "generating " << payments << " payments...\n";
     const datagen::GeneratedHistory history = datagen::generate_history(config);
-    if (!ledger::save_records(path, history.to_records())) {
+    if (!snap::save_columns(path, history.payments)) {
         std::cerr << "failed to write " << path << "\n";
         return 1;
     }
-    std::cout << "wrote " << history.payments.size() << " records to " << path
-              << " (sha256-sealed binary stream)\n";
+    std::cout << "wrote " << history.payments.size() << " rows to " << path
+              << " (XCOL columnar snapshot, sha256-sealed)\n";
     return 0;
 }
 
 int analyze(const std::string& path) {
-    const auto records = ledger::load_records(path);
-    if (!records) {
-        std::cerr << "failed to load/verify " << path << "\n";
+    snap::LoadResult loaded = snap::load_columns(path);
+    if (!loaded.ok()) {
+        std::cerr << "failed to load " << path << ": "
+                  << snap::load_error_name(*loaded.error) << " ("
+                  << loaded.detail << ")\n";
         return 1;
     }
-    std::cout << "loaded " << records->size() << " records from " << path
-              << " (checksum verified)\n\n";
+    std::cout << "loaded " << loaded.columns.size() << " rows from " << path
+              << " (chunk CRCs + seal verified)\n\n";
     util::TextTable table({"configuration", "IG"});
-    for (const core::IgStudyRow& row : core::run_ig_study(*records)) {
+    for (const core::IgStudyRow& row : core::run_ig_study(loaded.columns)) {
         table.add_row({row.config.label(),
                        util::format_percent(row.result.information_gain())});
     }
@@ -77,10 +83,10 @@ int main(int argc, char** argv) {
     }
 
     // Demo mode: round-trip through a temp file.
-    const std::string path = "/tmp/xrpl_history_demo.bin";
+    const std::string path = "/tmp/xrpl_history_demo.xcol";
     const int gen = generate(path, 60'000);
     if (gen != 0) return gen;
     const int ana = analyze(path);
-    std::remove(path.c_str());
+    util::remove_file(path);
     return ana;
 }

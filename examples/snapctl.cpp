@@ -1,0 +1,189 @@
+// snapctl — inspect, verify, and build XCOL dataset snapshots.
+//
+//   snapctl info <path.xcol>              header + seal summary
+//   snapctl verify <path.xcol>            full decode; exit 0 iff intact
+//   snapctl gen <path.xcol> [payments]    generate + save a history
+//   snapctl key [payments]                print the dataset cache key
+//   snapctl selfcheck                     exercise the verify exit paths
+//
+// Exit codes: 0 success, 1 artifact rejected (verify prints the
+// classified LoadError name on stderr), 2 usage error. CI runs
+// `snapctl info` over the primed cache artifact, and the selfcheck —
+// wired into ctest — proves each corruption class maps to its own
+// error and a nonzero exit.
+#include <charconv>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.hpp"
+#include "datagen/history.hpp"
+#include "ledger/payment_columns.hpp"
+#include "snap/xcol.hpp"
+#include "util/file_io.hpp"
+
+namespace {
+
+using namespace xrpl;
+
+datagen::GeneratorConfig tool_config(std::uint64_t payments) {
+    datagen::GeneratorConfig config;
+    config.seed = 20130101;
+    config.target_payments = payments;
+    config.num_users = 4'000;
+    config.num_merchants = 300;
+    return config;
+}
+
+int info(const std::string& path) {
+    const auto parsed = snap::read_file_info(path);
+    if (!parsed) {
+        std::cerr << "error: " << path << " is not a readable XCOL file\n";
+        return 1;
+    }
+    std::cout << "file:       " << path << "\n"
+              << "version:    " << parsed->version << "\n"
+              << "rows:       " << parsed->rows << "\n"
+              << "chunks:     " << parsed->chunk_count << " x "
+              << parsed->chunk_rows << " rows\n"
+              << "accounts:   " << parsed->accounts << "\n"
+              << "currencies: " << parsed->currencies << "\n"
+              << "bytes:      " << parsed->total_bytes << "\n"
+              << "seal:       " << parsed->seal_hex << "\n";
+    return 0;
+}
+
+int verify(const std::string& path) {
+    const snap::LoadResult result = snap::load_columns(path);
+    if (!result.ok()) {
+        std::cerr << "REJECTED " << path << ": "
+                  << snap::load_error_name(*result.error) << " ("
+                  << result.detail << ")\n";
+        return 1;
+    }
+    std::cout << "OK " << path << ": " << result.columns.size() << " rows, "
+              << "fingerprint "
+              << ledger::columns_fingerprint(result.columns) << "\n";
+    return 0;
+}
+
+int gen(const std::string& path, std::uint64_t payments) {
+    const datagen::GeneratorConfig config = tool_config(payments);
+    std::cout << "generating " << payments << " payments...\n";
+    const datagen::GeneratedHistory history = datagen::generate_history(config);
+    if (!snap::save_columns(path, history.payments)) {
+        std::cerr << "error: cannot write " << path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << history.payments.size() << " rows to " << path
+              << "\ncache key for this config: "
+              << datagen::dataset_key(config) << "\n";
+    return 0;
+}
+
+/// Prove verify's exit-code contract: an intact artifact passes, and
+/// each corruption class is rejected with ITS OWN error. Runs in a
+/// scratch directory; exit 0 iff every expectation held.
+int selfcheck() {
+    const std::string dir = "snapctl_selfcheck.tmp";
+    if (!util::ensure_directory(dir)) {
+        std::cerr << "selfcheck: cannot create " << dir << "\n";
+        return 1;
+    }
+    const std::string path = dir + "/artifact.xcol";
+    const datagen::GeneratedHistory history =
+        datagen::generate_history(tool_config(3'000));
+    if (!snap::save_columns(path, history.payments)) {
+        std::cerr << "selfcheck: save failed\n";
+        return 1;
+    }
+    const auto pristine = util::read_file_bytes(path);
+    if (!pristine) {
+        std::cerr << "selfcheck: readback failed\n";
+        return 1;
+    }
+
+    int failures = 0;
+    const auto expect = [&](const char* what, bool ok) {
+        if (!ok) {
+            ++failures;
+            std::cerr << "selfcheck FAILED: " << what << "\n";
+        }
+    };
+
+    expect("intact artifact verifies", verify(path) == 0);
+
+    // Truncation.
+    std::vector<std::uint8_t> bytes(*pristine);
+    bytes.resize(bytes.size() / 2);
+    expect("write truncated", util::write_file_bytes(path, bytes));
+    expect("truncated rejected", verify(path) == 1);
+
+    // Flipped chunk byte (chunk bodies start well past the header —
+    // the midpoint of the file lands inside one).
+    bytes = *pristine;
+    bytes[bytes.size() / 2] ^= 0x01;
+    expect("write flipped", util::write_file_bytes(path, bytes));
+    expect("flipped byte rejected", verify(path) == 1);
+
+    // Stale version.
+    bytes = *pristine;
+    bytes[4] ^= 0x7F;
+    expect("write stale version", util::write_file_bytes(path, bytes));
+    expect("stale version rejected", verify(path) == 1);
+
+    // Wrong magic.
+    bytes = *pristine;
+    bytes[0] = 'Z';
+    expect("write bad magic", util::write_file_bytes(path, bytes));
+    expect("bad magic rejected", verify(path) == 1);
+
+    expect("missing file rejected", verify(dir + "/absent.xcol") == 1);
+
+    util::remove_file(path);
+    if (failures == 0) std::cout << "selfcheck OK\n";
+    return failures == 0 ? 0 : 1;
+}
+
+std::uint64_t parse_payments(const char* arg, std::uint64_t fallback) {
+    if (arg == nullptr) return fallback;
+    std::uint64_t value = 0;
+    const char* end = arg + std::strlen(arg);
+    const auto [ptr, ec] = std::from_chars(arg, end, value);
+    if (ec != std::errc{} || ptr != end || value == 0) return 0;
+    return value;
+}
+
+int usage() {
+    std::cerr << "usage: snapctl info <path.xcol>\n"
+              << "       snapctl verify <path.xcol>\n"
+              << "       snapctl gen <path.xcol> [payments]\n"
+              << "       snapctl key [payments]\n"
+              << "       snapctl selfcheck\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string command = argc >= 2 ? argv[1] : "";
+    if (command == "selfcheck") return selfcheck();
+    if (command == "key") {
+        const std::uint64_t payments =
+            parse_payments(argc >= 3 ? argv[2] : nullptr, 100'000);
+        if (payments == 0) return usage();
+        std::cout << datagen::dataset_key(tool_config(payments)) << "\n";
+        return 0;
+    }
+    if (argc < 3) return usage();
+    if (command == "info") return info(argv[2]);
+    if (command == "verify") return verify(argv[2]);
+    if (command == "gen") {
+        const std::uint64_t payments =
+            parse_payments(argc >= 4 ? argv[3] : nullptr, 100'000);
+        if (payments == 0) return usage();
+        return gen(argv[2], payments);
+    }
+    return usage();
+}

@@ -1,0 +1,99 @@
+#include "datagen/dataset.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <utility>
+
+#include "datagen/history.hpp"
+#include "snap/dataset_cache.hpp"
+#include "snap/xcol.hpp"
+#include "util/contract.hpp"
+#include "util/sha256.hpp"
+
+namespace xrpl::datagen {
+
+namespace {
+
+void put_line(std::string& out, const char* name, std::uint64_t value) {
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+    out += '\n';
+}
+
+void put_line(std::string& out, const char* name, std::int64_t value) {
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+    out += '\n';
+}
+
+/// Shortest round-trip decimal rendering — std::to_chars, never
+/// iostreams, so the text is locale-independent and bit-faithful.
+void put_line(std::string& out, const char* name, double value) {
+    char buffer[32];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    XRPL_ASSERT(ec == std::errc(), "double must render in 32 chars");
+    out += name;
+    out += '=';
+    out.append(buffer, static_cast<std::size_t>(end - buffer));
+    out += '\n';
+}
+
+}  // namespace
+
+std::string canonical_config(const GeneratorConfig& config) {
+    // One line per field, ALPHABETICAL by name — append-position
+    // mistakes cannot silently reorder the serialization.
+    std::string out;
+    out.reserve(512);
+    put_line(out, "account_zero_fraction", config.account_zero_fraction);
+    put_line(out, "burst_probability", config.burst_probability);
+    put_line(out, "cck_spam_fraction", config.cck_spam_fraction);
+    put_line(out, "cross_currency_fraction", config.cross_currency_fraction);
+    put_line(out, "deposit_scale", config.deposit_scale);
+    put_line(out, "iou_retail_fraction", config.iou_retail_fraction);
+    put_line(out, "live_offers_per_maker",
+             static_cast<std::uint64_t>(config.live_offers_per_maker));
+    put_line(out, "mtl_spam_fraction", config.mtl_spam_fraction);
+    put_line(out, "num_gateways", static_cast<std::uint64_t>(config.num_gateways));
+    put_line(out, "num_hubs", static_cast<std::uint64_t>(config.num_hubs));
+    put_line(out, "num_market_makers",
+             static_cast<std::uint64_t>(config.num_market_makers));
+    put_line(out, "num_merchants",
+             static_cast<std::uint64_t>(config.num_merchants));
+    put_line(out, "num_users", static_cast<std::uint64_t>(config.num_users));
+    put_line(out, "offers_per_page", config.offers_per_page);
+    put_line(out, "page_interval_seconds", config.page_interval_seconds);
+    put_line(out, "payments_per_page", config.payments_per_page);
+    put_line(out, "payments_per_slice", config.payments_per_slice);
+    put_line(out, "ripple_spin_fraction", config.ripple_spin_fraction);
+    put_line(out, "seed", config.seed);
+    put_line(out, "start_time_seconds", config.start_time.seconds);
+    put_line(out, "target_payments", config.target_payments);
+    put_line(out, "xrp_organic_fraction", config.xrp_organic_fraction);
+    put_line(out, "xrp_whale_fraction", config.xrp_whale_fraction);
+    return out;
+}
+
+std::string dataset_key(const GeneratorConfig& config) {
+    // The artifact is the XCOL serialization of the generated store,
+    // so the format version is part of WHAT is cached: a format bump
+    // re-keys every entry instead of tripping kBadVersion loads.
+    std::string material = canonical_config(config);
+    material += "xcol_version=";
+    material += std::to_string(snap::kXcolVersion);
+    material += '\n';
+    return util::to_hex(util::sha256(material));
+}
+
+ledger::PaymentColumns load_or_generate_payments(
+    const GeneratorConfig& config) {
+    const snap::DatasetCache cache = snap::DatasetCache::from_options();
+    return cache.load_or_generate(dataset_key(config), [&config] {
+        return std::move(generate_history(config).payments);
+    });
+}
+
+}  // namespace xrpl::datagen

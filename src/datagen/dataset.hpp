@@ -1,0 +1,41 @@
+// Config canonicalization + the cache-or-generate dataset entry point.
+//
+// The dataset cache (src/snap/dataset_cache.hpp) is content-addressed:
+// an artifact's name must pin down EVERYTHING that determines its
+// bytes. For a generated history that is (a) the full GeneratorConfig
+// — the generator is deterministic in it — and (b) the XCOL format
+// version, since the artifact is the serialization. canonical_config
+// renders (a) as sorted `name=value` lines with locale-free,
+// shortest-round-trip number formatting, so two configs hash equal iff
+// they generate the same history; dataset_key folds in (b) and hashes.
+//
+// Every field rides in the key, including payments_per_slice: slicing
+// picks RNG streams, so it changes CONTENT, not just scheduling.
+// Adding a GeneratorConfig field? Extend canonical_config in the same
+// commit — the cache-key tests count lines against the struct.
+#pragma once
+
+#include <string>
+
+#include "datagen/config.hpp"
+#include "ledger/payment_columns.hpp"
+
+namespace xrpl::datagen {
+
+/// `name=value\n` per GeneratorConfig field, names sorted
+/// alphabetically. Deterministic across platforms and locales
+/// (doubles via std::to_chars shortest round-trip).
+[[nodiscard]] std::string canonical_config(const GeneratorConfig& config);
+
+/// Cache key for `config`'s payment dataset: lowercase-hex sha256 of
+/// canonical_config plus the XCOL format version line.
+[[nodiscard]] std::string dataset_key(const GeneratorConfig& config);
+
+/// THE cache-aware way to obtain a config's payments: serve
+/// `dataset_key(config)` from the XRPL_DATASET_DIR cache, or generate
+/// the history, keep its payment store, and publish it. With the
+/// cache disabled this is exactly generate_history(config).payments.
+[[nodiscard]] ledger::PaymentColumns load_or_generate_payments(
+    const GeneratorConfig& config);
+
+}  // namespace xrpl::datagen

@@ -121,15 +121,26 @@ SliceResult run_slice(const GeneratorConfig& config,
 
 }  // namespace
 
+PopulationSnapshot generate_population_only(const GeneratorConfig& config) {
+    PopulationSnapshot snapshot;
+    const util::RngStream root(config.seed);
+    snapshot.population = build_population(snapshot.ledger, config,
+                                           root.derive("population"));
+    return snapshot;
+}
+
 GeneratedHistory generate_history(const GeneratorConfig& config) {
     const obs::Phase phase("datagen.generate");
     GeneratedHistory history;
     const util::RngStream root(config.seed);
 
     {
+        // Through the shared stage so a cached-payments consumer that
+        // rebuilds only the population gets the identical snapshot.
         const obs::Phase stage("population");
-        history.population =
-            build_population(history.ledger, config, root.derive("population"));
+        PopulationSnapshot snapshot = generate_population_only(config);
+        history.ledger = std::move(snapshot.ledger);
+        history.population = std::move(snapshot.population);
     }
 
     // --- stage 1: slice fan-out ---------------------------------------

@@ -62,6 +62,23 @@ struct GeneratedHistory {
     std::uint64_t offers_placed_total = 0;
 };
 
+/// The population stage's complete output: the seeded ledger (trust
+/// lines, deposits, maker float) plus the account roster. This is the
+/// prefix of generate_history — cheap (no payment workload), and
+/// byte-identical to the population inside a full generation of the
+/// same config, so consumers that load payments from a snapshot can
+/// still pair them with the exact population that produced them.
+struct PopulationSnapshot {
+    ledger::LedgerState ledger;
+    Population population;
+};
+
+/// Run ONLY the population stage of the pipeline. Same RNG stream
+/// derivation as generate_history, so the result is identical to the
+/// full run's population/initial ledger.
+[[nodiscard]] PopulationSnapshot generate_population_only(
+    const GeneratorConfig& config);
+
 /// Generate a complete history. Deterministic in the config seed
 /// alone: the same config yields byte-identical output at any
 /// XRPL_THREADS width (slicing is governed by

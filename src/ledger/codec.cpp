@@ -1,8 +1,8 @@
 #include "ledger/codec.hpp"
 
 #include <cstring>
-#include <fstream>
 
+#include "util/file_io.hpp"
 #include "util/sha256.hpp"
 
 namespace xrpl::ledger {
@@ -116,23 +116,13 @@ std::optional<std::vector<TxRecord>> decode_records(
 }
 
 bool save_records(const std::string& path, std::span<const TxRecord> records) {
-    const std::vector<std::uint8_t> bytes = encode_records(records);
-    std::ofstream file(path, std::ios::binary | std::ios::trunc);
-    if (!file) return false;
-    file.write(reinterpret_cast<const char*>(bytes.data()),
-               static_cast<std::streamsize>(bytes.size()));
-    return static_cast<bool>(file);
+    return util::write_file_bytes(path, encode_records(records));
 }
 
 std::optional<std::vector<TxRecord>> load_records(const std::string& path) {
-    std::ifstream file(path, std::ios::binary | std::ios::ate);
-    if (!file) return std::nullopt;
-    const std::streamsize size = file.tellg();
-    file.seekg(0);
-    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-    file.read(reinterpret_cast<char*>(bytes.data()), size);
-    if (!file) return std::nullopt;
-    return decode_records(bytes);
+    const auto bytes = util::read_file_bytes(path);
+    if (!bytes) return std::nullopt;
+    return decode_records(*bytes);
 }
 
 }  // namespace xrpl::ledger

@@ -93,4 +93,61 @@ PaymentColumns PaymentColumns::from_records(std::span<const TxRecord> records) {
     return columns;
 }
 
+std::span<const ColumnInfo> payment_schema() noexcept {
+    static constexpr ColumnInfo kSchema[] = {
+        {"sender_id", ColumnKind::kU32},
+        {"dest_id", ColumnKind::kU32},
+        {"currency_id", ColumnKind::kU16},
+        {"amount_mantissa", ColumnKind::kI64},
+        {"amount_exponent", ColumnKind::kI8},
+        {"time_seconds", ColumnKind::kI64},
+    };
+    return kSchema;
+}
+
+namespace {
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+        out.push_back(static_cast<std::uint8_t>(value >> shift));
+    }
+}
+
+}  // namespace
+
+util::Sha256Digest columns_digest(const PaymentColumns& columns) {
+    // The serialization below IS the fingerprint contract: the pinned
+    // generator-regression hash was computed over exactly these bytes.
+    // Widening ids to u64 wastes space but keeps the layout trivially
+    // unambiguous; do not "optimize" it — that re-pins every golden.
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(columns.size() * 41 + columns.accounts.size() * 20 +
+                  columns.currencies.size() * 3 + 24);
+    append_u64(bytes, columns.size());
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        append_u64(bytes, columns.sender_id[i]);
+        append_u64(bytes, columns.dest_id[i]);
+        append_u64(bytes, columns.currency_id[i]);
+        append_u64(bytes, static_cast<std::uint64_t>(columns.amount_mantissa[i]));
+        bytes.push_back(static_cast<std::uint8_t>(columns.amount_exponent[i]));
+        append_u64(bytes, static_cast<std::uint64_t>(columns.time_seconds[i]));
+    }
+    append_u64(bytes, columns.accounts.size());
+    for (std::size_t i = 0; i < columns.accounts.size(); ++i) {
+        const auto& id = columns.accounts.at(static_cast<std::uint32_t>(i));
+        bytes.insert(bytes.end(), id.bytes.begin(), id.bytes.end());
+    }
+    append_u64(bytes, columns.currencies.size());
+    for (std::size_t i = 0; i < columns.currencies.size(); ++i) {
+        const auto& code =
+            columns.currencies.at(static_cast<std::uint16_t>(i)).code;
+        bytes.insert(bytes.end(), code.begin(), code.end());
+    }
+    return util::sha256(std::span<const std::uint8_t>(bytes));
+}
+
+std::string columns_fingerprint(const PaymentColumns& columns) {
+    return util::to_hex(columns_digest(columns));
+}
+
 }  // namespace xrpl::ledger

@@ -24,11 +24,13 @@
 #include <iterator>
 #include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "ledger/transaction.hpp"
 #include "util/contract.hpp"
+#include "util/sha256.hpp"
 
 namespace xrpl::ledger {
 
@@ -106,6 +108,39 @@ struct PaymentColumns {
     [[nodiscard]] static PaymentColumns from_records(
         std::span<const TxRecord> records);
 };
+
+/// Storage type of one payment column — the schema vocabulary the
+/// XCOL snapshot codec (src/snap/) embeds in its header so an
+/// artifact written against a different column layout is rejected
+/// instead of misparsed.
+enum class ColumnKind : std::uint8_t {
+    kU32 = 1,  // interned account ids
+    kU16 = 2,  // interned currency ids
+    kI64 = 3,  // mantissa / timestamps
+    kI8 = 4,   // decimal exponents
+};
+
+struct ColumnInfo {
+    const char* name;  // struct field name, stable across versions
+    ColumnKind kind;
+};
+
+/// The PaymentColumns schema in canonical storage order:
+/// sender_id, dest_id, currency_id, amount_mantissa, amount_exponent,
+/// time_seconds. Any layout change here is a snapshot format break —
+/// bump snap::kXcolVersion in the same commit.
+[[nodiscard]] std::span<const ColumnInfo> payment_schema() noexcept;
+
+/// sha256 over the canonical little-endian serialization of every
+/// column plus both interner tables. Any drift — a reordered row, a
+/// different first-seen interning order, a timestamp off by one —
+/// changes the digest. This is THE history fingerprint: the pinned
+/// generator regression value, the determinism suites, and the
+/// snapshot round-trip tests all compare it.
+[[nodiscard]] util::Sha256Digest columns_digest(const PaymentColumns& columns);
+
+/// columns_digest rendered as lowercase hex.
+[[nodiscard]] std::string columns_fingerprint(const PaymentColumns& columns);
 
 /// Zero-copy window [offset, offset+count) over a PaymentColumns.
 /// Iterating yields TxRecord-shaped rows reconstructed on the fly;

@@ -1,0 +1,83 @@
+#include "snap/dataset_cache.hpp"
+
+#include <iostream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/stopwatch.hpp"
+#include "snap/xcol.hpp"
+#include "util/file_io.hpp"
+#include "util/options.hpp"
+
+namespace xrpl::snap {
+
+DatasetCache::DatasetCache(std::string directory)
+    : directory_(std::move(directory)) {}
+
+DatasetCache DatasetCache::from_options() {
+    return DatasetCache(util::options().dataset_dir);
+}
+
+std::string DatasetCache::path_for(const std::string& key) const {
+    return directory_ + "/" + key + ".xcol";
+}
+
+std::optional<ledger::PaymentColumns> DatasetCache::try_load(
+    const std::string& key) const {
+    if (!enabled()) return std::nullopt;
+    const std::string path = path_for(key);
+    if (!util::file_exists(path)) return std::nullopt;
+    LoadResult result = load_columns(path);
+    if (result.ok()) return std::move(result.columns);
+    // A present-but-broken artifact: evict so the slot can be
+    // republished; the caller regenerates this once.
+    static obs::Counter& evictions = obs::counter("snap.cache.evictions");
+    evictions.add();
+    std::cerr << "warning: evicting corrupt dataset cache entry " << path
+              << " (" << load_error_name(*result.error) << ": "
+              << result.detail << ")\n";
+    util::remove_file(path);
+    return std::nullopt;
+}
+
+bool DatasetCache::store(const std::string& key,
+                         const ledger::PaymentColumns& columns) const {
+    if (!enabled()) return false;
+    if (!util::ensure_directory(directory_)) {
+        std::cerr << "warning: cannot create dataset cache directory "
+                  << directory_ << "\n";
+        return false;
+    }
+    static obs::Counter& stores = obs::counter("snap.cache.stores");
+    stores.add();
+    return save_columns(path_for(key), columns);
+}
+
+ledger::PaymentColumns DatasetCache::load_or_generate(
+    const std::string& key,
+    const std::function<ledger::PaymentColumns()>& generate) const {
+    static obs::Counter& hits = obs::counter("snap.cache.hits");
+    static obs::Counter& misses = obs::counter("snap.cache.misses");
+    static obs::Histogram& load_ns = obs::histogram("snap.cache.load_ns");
+    static obs::Histogram& generate_ns =
+        obs::histogram("snap.cache.generate_ns");
+
+    {
+        const obs::Stopwatch clock;
+        std::optional<ledger::PaymentColumns> cached = try_load(key);
+        if (cached) {
+            hits.add();
+            load_ns.record(clock.elapsed_ns());
+            return std::move(*cached);
+        }
+    }
+
+    misses.add();
+    const obs::Stopwatch clock;
+    ledger::PaymentColumns columns = generate();
+    generate_ns.record(clock.elapsed_ns());
+    if (enabled()) store(key, columns);
+    return columns;
+}
+
+}  // namespace xrpl::snap

@@ -1,0 +1,71 @@
+// Content-addressed snapshot cache over XCOL artifacts.
+//
+// A cache entry is `<directory>/<key>.xcol`, where the key is the
+// caller's content hash of WHAT the artifact is (for generated
+// histories: sha256 of the canonical GeneratorConfig text plus the
+// XCOL format version — see datagen/dataset.hpp). Content addressing
+// plus util::write_file_bytes's atomic publish is the whole
+// consistency story: a file either exists under its final name and is
+// a completely written artifact for exactly that key, or it does not
+// exist — there is no "partially cached" state to repair, and
+// concurrent writers of the same key race benignly toward identical
+// bytes.
+//
+// Loads still verify every CRC and the seal (a cache directory on a
+// flaky disk must degrade to a regeneration, not a crash), so a
+// corrupt entry is evicted and regenerated in place.
+//
+// The cache is DISABLED unless a directory is configured
+// (XRPL_DATASET_DIR, read through util::options()): default runs
+// touch no disk, exactly as before this layer existed.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "ledger/payment_columns.hpp"
+
+namespace xrpl::snap {
+
+class DatasetCache {
+public:
+    /// A cache rooted at `directory`; empty means disabled (every
+    /// lookup misses, nothing is stored).
+    explicit DatasetCache(std::string directory);
+
+    /// The process-wide configuration: rooted at XRPL_DATASET_DIR.
+    [[nodiscard]] static DatasetCache from_options();
+
+    [[nodiscard]] bool enabled() const noexcept { return !directory_.empty(); }
+    [[nodiscard]] const std::string& directory() const noexcept {
+        return directory_;
+    }
+
+    /// Artifact path for `key` (no existence implied).
+    [[nodiscard]] std::string path_for(const std::string& key) const;
+
+    /// The cached store for `key`, if present AND intact. A corrupt
+    /// entry is removed (and counted in snap.cache.evictions) so the
+    /// next store() can republish it.
+    [[nodiscard]] std::optional<ledger::PaymentColumns> try_load(
+        const std::string& key) const;
+
+    /// Publish `columns` under `key` (atomic; false on I/O failure or
+    /// when the cache is disabled).
+    bool store(const std::string& key,
+               const ledger::PaymentColumns& columns) const;
+
+    /// try_load, falling back to generate() + store. The one
+    /// cache-or-compute entry point consumers use; hit/miss counts and
+    /// both path durations land in the snap.cache.* metrics, which is
+    /// how the warm-cache smoke test proves the cache actually served.
+    [[nodiscard]] ledger::PaymentColumns load_or_generate(
+        const std::string& key,
+        const std::function<ledger::PaymentColumns()>& generate) const;
+
+private:
+    std::string directory_;
+};
+
+}  // namespace xrpl::snap

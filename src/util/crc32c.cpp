@@ -1,0 +1,67 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace xrpl::util {
+
+namespace {
+
+/// 8 tables of 256 entries: table[0] is the classic byte-at-a-time
+/// table for the reflected polynomial, table[k] advances a byte k
+/// positions further, letting the hot loop fold 8 bytes per step.
+struct Tables {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+};
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected
+
+constexpr Tables build_tables() {
+    Tables tables;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+        }
+        tables.t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = tables.t[0][i];
+        for (std::size_t k = 1; k < 8; ++k) {
+            crc = tables.t[0][crc & 0xFFu] ^ (crc >> 8);
+            tables.t[k][i] = crc;
+        }
+    }
+    return tables;
+}
+
+constexpr Tables kTables = build_tables();
+
+}  // namespace
+
+std::uint32_t crc32c(std::uint32_t seed,
+                     std::span<const std::uint8_t> data) noexcept {
+    std::uint32_t crc = ~seed;
+    const std::uint8_t* p = data.data();
+    std::size_t n = data.size();
+
+    while (n >= 8) {
+        // Slice-by-8: fold the current crc into the first 4 bytes and
+        // advance all 8 through the precomputed distance tables.
+        const std::uint32_t low = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                         static_cast<std::uint32_t>(p[1]) << 8 |
+                                         static_cast<std::uint32_t>(p[2]) << 16 |
+                                         static_cast<std::uint32_t>(p[3]) << 24);
+        crc = kTables.t[7][low & 0xFFu] ^ kTables.t[6][(low >> 8) & 0xFFu] ^
+              kTables.t[5][(low >> 16) & 0xFFu] ^ kTables.t[4][low >> 24] ^
+              kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+              kTables.t[0][p[7]];
+        p += 8;
+        n -= 8;
+    }
+    while (n-- > 0) {
+        crc = kTables.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    }
+    return ~crc;
+}
+
+}  // namespace xrpl::util

@@ -1,0 +1,80 @@
+#include "util/file_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace xrpl::util {
+
+namespace fs = std::filesystem;
+
+std::optional<std::vector<std::uint8_t>> read_file_bytes(
+    const std::string& path) {
+    std::ifstream file(path, std::ios::binary | std::ios::ate);
+    if (!file) return std::nullopt;
+    const std::streamsize size = file.tellg();
+    if (size < 0) return std::nullopt;
+    file.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    if (size > 0) {
+        file.read(reinterpret_cast<char*>(bytes.data()), size);
+        if (!file) return std::nullopt;
+    }
+    return bytes;
+}
+
+bool write_file_bytes(const std::string& path,
+                      std::span<const std::uint8_t> bytes) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+        if (!file) return false;
+        file.write(reinterpret_cast<const char*>(bytes.data()),
+                   static_cast<std::streamsize>(bytes.size()));
+        if (!file) {
+            file.close();
+            remove_file(tmp);
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        remove_file(tmp);
+        return false;
+    }
+    return true;
+}
+
+bool write_text_file(const std::string& path, std::string_view text) {
+    return write_file_bytes(
+        path, std::span<const std::uint8_t>(
+                  reinterpret_cast<const std::uint8_t*>(text.data()),
+                  text.size()));
+}
+
+bool file_exists(const std::string& path) {
+    std::error_code ec;
+    return fs::is_regular_file(path, ec);
+}
+
+std::optional<std::uint64_t> file_size(const std::string& path) {
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(path, ec);
+    if (ec) return std::nullopt;
+    return static_cast<std::uint64_t>(size);
+}
+
+bool ensure_directory(const std::string& path) {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    return fs::is_directory(path, ec);
+}
+
+bool remove_file(const std::string& path) {
+    std::error_code ec;
+    fs::remove(path, ec);
+    return !fs::exists(path, ec);
+}
+
+}  // namespace xrpl::util

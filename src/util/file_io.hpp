@@ -1,0 +1,50 @@
+// Buffered file I/O primitives — the ONE place (besides src/snap/)
+// the repo opens files.
+//
+// The `no-adhoc-io` lint rule bans raw fopen/std::ofstream/
+// std::ifstream everywhere else, so every byte that reaches disk goes
+// through these audited helpers: whole-file reads into a byte vector,
+// and writes that are ATOMIC by construction (write to `<path>.tmp`,
+// fsync-free rename into place) — a half-written snapshot can never
+// be observed under its final name, which is what lets the dataset
+// cache treat file existence as artifact validity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xrpl::util {
+
+/// Whole file as bytes; nullopt on any I/O error (missing file,
+/// permission, short read).
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> read_file_bytes(
+    const std::string& path);
+
+/// Write `bytes` to `path` atomically: the payload lands in
+/// `<path>.tmp` first and is renamed over `path` only when completely
+/// written. Returns false on any failure (the temp file is removed).
+bool write_file_bytes(const std::string& path,
+                      std::span<const std::uint8_t> bytes);
+
+/// write_file_bytes for text payloads (bench reports, tool output).
+bool write_text_file(const std::string& path, std::string_view text);
+
+/// Whether `path` names an existing regular file.
+[[nodiscard]] bool file_exists(const std::string& path);
+
+/// Size of the file in bytes, or nullopt if it does not exist.
+[[nodiscard]] std::optional<std::uint64_t> file_size(const std::string& path);
+
+/// Create `path` (and parents) as a directory if missing. Returns
+/// false only when the directory does not exist afterwards.
+bool ensure_directory(const std::string& path);
+
+/// Remove a single file if present (best effort; returns whether the
+/// file is absent afterwards).
+bool remove_file(const std::string& path);
+
+}  // namespace xrpl::util

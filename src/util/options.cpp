@@ -28,6 +28,10 @@ constexpr OptionInfo kOptionTable[] = {
      "history size for the `ext_datagen_scaling` thread sweep"},
     {"XRPL_BENCH_JSON_DIR", "string", ".",
      "directory the bench harness writes `BENCH_<name>.json` into"},
+    {"XRPL_DATASET_DIR", "string", "(unset: caching off)",
+     "root of the content-addressed `.xcol` dataset cache (`src/snap/`); "
+     "when set, generated histories are saved once and re-runs load the "
+     "snapshot instead of regenerating (bit-identical either way)"},
 };
 
 std::size_t default_threads() {
@@ -51,6 +55,7 @@ Options Options::from_env() {
     opts.bench_datagen_payments =
         env_u64("XRPL_BENCH_DATAGEN_PAYMENTS", opts.bench_datagen_payments);
     opts.bench_json_dir = env_string("XRPL_BENCH_JSON_DIR", opts.bench_json_dir);
+    opts.dataset_dir = env_string("XRPL_DATASET_DIR", opts.dataset_dir);
     return opts;
 }
 

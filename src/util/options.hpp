@@ -41,6 +41,11 @@ struct Options {
     /// BENCH_<name>.json into.
     std::string bench_json_dir = ".";
 
+    /// XRPL_DATASET_DIR — root of the content-addressed XCOL dataset
+    /// cache (src/snap/). Empty (the default) disables caching:
+    /// histories are regenerated every run and no disk is touched.
+    std::string dataset_dir;
+
     /// Parse the environment now (strict; malformed values warn and
     /// fall back). Pure read — no caching.
     [[nodiscard]] static Options from_env();

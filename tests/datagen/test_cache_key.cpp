@@ -1,0 +1,173 @@
+// Dataset cache-key stability: the key must change when ANY
+// GeneratorConfig field changes (else the cache serves the wrong
+// dataset), must be bit-stable across re-canonicalization, and one
+// golden key is pinned so accidental canonicalization changes fail
+// loudly — the persistence-layer sibling of the pinned history
+// fingerprint in test_sharded_determinism.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/config.hpp"
+#include "datagen/dataset.hpp"
+#include "util/ripple_time.hpp"
+
+namespace xrpl::datagen {
+namespace {
+
+/// The sharded-determinism pinned config — the same one whose history
+/// fingerprint 4d926cb6... is pinned, so the two goldens travel
+/// together.
+GeneratorConfig pinned_config() {
+    GeneratorConfig config;
+    config.seed = 20170605;
+    config.num_users = 400;
+    config.num_gateways = 12;
+    config.num_market_makers = 20;
+    config.num_merchants = 60;
+    config.num_hubs = 6;
+    config.target_payments = 6'000;
+    config.payments_per_slice = 1'500;
+    return config;
+}
+
+/// GeneratorConfig field count. If this fails you added a field:
+/// extend canonical_config AND the mutation list below in the same
+/// commit, or the cache will serve stale datasets for the new knob.
+constexpr std::size_t kConfigFields = 23;
+
+TEST(CacheKeyTest, CanonicalConfigCoversEveryField) {
+    const std::string canonical = canonical_config(pinned_config());
+    const std::size_t lines = static_cast<std::size_t>(
+        std::count(canonical.begin(), canonical.end(), '\n'));
+    EXPECT_EQ(lines, kConfigFields);
+}
+
+TEST(CacheKeyTest, CanonicalConfigIsSortedNameValueLines) {
+    const std::string canonical = canonical_config(pinned_config());
+    std::vector<std::string> names;
+    std::size_t start = 0;
+    while (start < canonical.size()) {
+        const std::size_t eq = canonical.find('=', start);
+        const std::size_t nl = canonical.find('\n', start);
+        ASSERT_NE(eq, std::string::npos);
+        ASSERT_NE(nl, std::string::npos);
+        ASSERT_LT(eq, nl);
+        names.push_back(canonical.substr(start, eq - start));
+        start = nl + 1;
+    }
+    ASSERT_EQ(names.size(), kConfigFields);
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end())
+        << "duplicate field name in canonical_config";
+}
+
+TEST(CacheKeyTest, KeyIsStableAcrossRecanonicalization) {
+    const GeneratorConfig config = pinned_config();
+    const std::string first = dataset_key(config);
+    EXPECT_EQ(first.size(), 64u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(dataset_key(config), first);
+    }
+    // A copy is the same config.
+    const GeneratorConfig copy = config;
+    EXPECT_EQ(dataset_key(copy), first);
+}
+
+TEST(CacheKeyTest, GoldenKeyIsPinned) {
+    // sha256(canonical_config(pinned) + "xcol_version=1\n"). Changing
+    // canonicalization, field names, number formatting, or the XCOL
+    // format version invalidates every cached artifact — this pin
+    // makes that an explicit, reviewed event.
+    EXPECT_EQ(
+        dataset_key(pinned_config()),
+        "fa38b6fe28ca505503f7afeb87cf85593715dab5526eba63a3260e026f8f0ca6");
+}
+
+TEST(CacheKeyTest, EveryFieldChangesTheKey) {
+    // One mutation per GeneratorConfig field. The count is asserted
+    // against kConfigFields so a new field cannot ship without a
+    // mutation here (and therefore without canonical_config coverage,
+    // per CanonicalConfigCoversEveryField).
+    const std::vector<std::pair<const char*,
+                                std::function<void(GeneratorConfig&)>>>
+        mutations = {
+            {"seed", [](GeneratorConfig& c) { c.seed += 1; }},
+            {"num_users", [](GeneratorConfig& c) { c.num_users += 1; }},
+            {"num_gateways", [](GeneratorConfig& c) { c.num_gateways += 1; }},
+            {"num_market_makers",
+             [](GeneratorConfig& c) { c.num_market_makers += 1; }},
+            {"num_merchants",
+             [](GeneratorConfig& c) { c.num_merchants += 1; }},
+            {"num_hubs", [](GeneratorConfig& c) { c.num_hubs += 1; }},
+            {"target_payments",
+             [](GeneratorConfig& c) { c.target_payments += 1; }},
+            {"payments_per_page",
+             [](GeneratorConfig& c) { c.payments_per_page += 0.01; }},
+            {"page_interval_seconds",
+             [](GeneratorConfig& c) { c.page_interval_seconds += 0.5; }},
+            {"start_time",
+             [](GeneratorConfig& c) {
+                 c.start_time = util::from_calendar(2014, 1, 1);
+             }},
+            {"payments_per_slice",
+             [](GeneratorConfig& c) { c.payments_per_slice += 1; }},
+            {"xrp_organic_fraction",
+             [](GeneratorConfig& c) { c.xrp_organic_fraction += 0.001; }},
+            {"ripple_spin_fraction",
+             [](GeneratorConfig& c) { c.ripple_spin_fraction += 0.001; }},
+            {"account_zero_fraction",
+             [](GeneratorConfig& c) { c.account_zero_fraction += 0.001; }},
+            {"mtl_spam_fraction",
+             [](GeneratorConfig& c) { c.mtl_spam_fraction += 0.001; }},
+            {"cck_spam_fraction",
+             [](GeneratorConfig& c) { c.cck_spam_fraction += 0.001; }},
+            {"iou_retail_fraction",
+             [](GeneratorConfig& c) { c.iou_retail_fraction += 0.001; }},
+            {"cross_currency_fraction",
+             [](GeneratorConfig& c) { c.cross_currency_fraction += 0.001; }},
+            {"burst_probability",
+             [](GeneratorConfig& c) { c.burst_probability += 0.001; }},
+            {"xrp_whale_fraction",
+             [](GeneratorConfig& c) { c.xrp_whale_fraction += 0.001; }},
+            {"live_offers_per_maker",
+             [](GeneratorConfig& c) { c.live_offers_per_maker += 1; }},
+            {"offers_per_page",
+             [](GeneratorConfig& c) { c.offers_per_page += 0.1; }},
+            {"deposit_scale",
+             [](GeneratorConfig& c) { c.deposit_scale += 1.0; }},
+        };
+    ASSERT_EQ(mutations.size(), kConfigFields);
+
+    const std::string base_key = dataset_key(pinned_config());
+    std::vector<std::string> keys = {base_key};
+    for (const auto& [name, mutate] : mutations) {
+        GeneratorConfig config = pinned_config();
+        mutate(config);
+        const std::string key = dataset_key(config);
+        EXPECT_NE(key, base_key) << "field '" << name
+                                 << "' does not reach the cache key";
+        keys.push_back(key);
+    }
+    // And the mutations are pairwise distinct — no two fields collide
+    // into the same canonical line.
+    std::sort(keys.begin(), keys.end());
+    EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(CacheKeyTest, TinyNumericDifferencesAreDistinguished) {
+    // Shortest-round-trip formatting must not merge adjacent doubles.
+    GeneratorConfig a = pinned_config();
+    GeneratorConfig b = pinned_config();
+    b.payments_per_page =
+        std::nextafter(a.payments_per_page, 2.0 * a.payments_per_page);
+    EXPECT_NE(dataset_key(a), dataset_key(b));
+}
+
+}  // namespace
+}  // namespace xrpl::datagen

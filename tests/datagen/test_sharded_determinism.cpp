@@ -14,14 +14,11 @@
 // re-roll in CHANGES.md.
 #include <gtest/gtest.h>
 
-#include <cstdint>
-#include <span>
 #include <string>
-#include <vector>
 
 #include "datagen/history.hpp"
 #include "exec/thread_pool.hpp"
-#include "util/sha256.hpp"
+#include "ledger/payment_columns.hpp"
 
 namespace xrpl::datagen {
 namespace {
@@ -39,38 +36,10 @@ GeneratorConfig sharded_config() {
     return config;
 }
 
-void append_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
-    for (int shift = 0; shift < 64; shift += 8) {
-        out.push_back(static_cast<std::uint8_t>(value >> shift));
-    }
-}
-
-/// Canonical little-endian serialization of every column plus both
-/// interner tables, hashed. Any drift — a reordered row, a different
-/// first-seen interning order, a timestamp off by one — changes it.
+/// The canonical store hash (ledger::columns_fingerprint) — rows AND
+/// interner tables, so first-seen id assignment is covered.
 std::string fingerprint(const ledger::PaymentColumns& columns) {
-    std::vector<std::uint8_t> bytes;
-    bytes.reserve(columns.size() * 31 + columns.accounts.size() * 20 + 64);
-    append_u64(bytes, columns.size());
-    for (std::size_t i = 0; i < columns.size(); ++i) {
-        append_u64(bytes, columns.sender_id[i]);
-        append_u64(bytes, columns.dest_id[i]);
-        append_u64(bytes, columns.currency_id[i]);
-        append_u64(bytes, static_cast<std::uint64_t>(columns.amount_mantissa[i]));
-        bytes.push_back(static_cast<std::uint8_t>(columns.amount_exponent[i]));
-        append_u64(bytes, static_cast<std::uint64_t>(columns.time_seconds[i]));
-    }
-    append_u64(bytes, columns.accounts.size());
-    for (std::size_t i = 0; i < columns.accounts.size(); ++i) {
-        const auto& id = columns.accounts.at(static_cast<std::uint32_t>(i));
-        bytes.insert(bytes.end(), id.bytes.begin(), id.bytes.end());
-    }
-    append_u64(bytes, columns.currencies.size());
-    for (std::size_t i = 0; i < columns.currencies.size(); ++i) {
-        const auto& code = columns.currencies.at(static_cast<std::uint16_t>(i)).code;
-        bytes.insert(bytes.end(), code.begin(), code.end());
-    }
-    return util::to_hex(util::sha256(std::span<const std::uint8_t>(bytes)));
+    return ledger::columns_fingerprint(columns);
 }
 
 // One generated history per pool width, shared across the tests below

@@ -10,7 +10,11 @@
 #include "core/deanonymizer.hpp"
 #include "core/ig_study.hpp"
 #include "core/mitigation.hpp"
+#include "datagen/dataset.hpp"
 #include "datagen/history.hpp"
+#include "ledger/payment_columns.hpp"
+#include "snap/dataset_cache.hpp"
+#include "util/file_io.hpp"
 
 namespace xrpl {
 namespace {
@@ -110,6 +114,33 @@ TEST_F(ColumnarParityTest, AttackIndexIdentical) {
         EXPECT_EQ(row_index.candidate_senders(observation),
                   col_index.candidate_senders(observation));
     }
+}
+
+TEST_F(ColumnarParityTest, CacheServedColumnsAnalyzeIdentically) {
+    // The persistence path end to end: publish this history into a
+    // dataset cache under its real content key, load it back, and run
+    // the paper's headline analysis on both copies. A snapshot that
+    // survives its CRCs but perturbed any column would diverge here.
+    const std::string dir = "columnar_parity_cache.tmp";
+    const snap::DatasetCache cache(dir);
+    const std::string key = datagen::dataset_key(parity_config());
+    ASSERT_TRUE(util::remove_file(cache.path_for(key)));
+    ASSERT_TRUE(cache.store(key, history_->payments));
+
+    const auto served = cache.try_load(key);
+    ASSERT_TRUE(served.has_value());
+    EXPECT_EQ(ledger::columns_fingerprint(*served),
+              ledger::columns_fingerprint(history_->payments));
+
+    const auto fresh_study = core::run_ig_study(history_->payments);
+    const auto cached_study = core::run_ig_study(*served);
+    ASSERT_EQ(fresh_study.size(), cached_study.size());
+    for (std::size_t i = 0; i < fresh_study.size(); ++i) {
+        EXPECT_EQ(fresh_study[i].result.uniquely_identified,
+                  cached_study[i].result.uniquely_identified)
+            << fresh_study[i].config.label();
+    }
+    util::remove_file(cache.path_for(key));
 }
 
 TEST_F(ColumnarParityTest, MitigationReportIdentical) {

@@ -1,0 +1,22 @@
+// Fixture: raw file I/O outside src/util + src/snap (no-adhoc-io).
+// Every byte on disk goes through util::file_io's audited helpers —
+// atomic tmp+rename writes, whole-file reads — never ad-hoc streams.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace lint_fixture {
+
+// fopen("log.txt", "w") in prose stays legal — a comment, not a call.
+inline std::string bad_io(const std::string& path) {
+    std::ofstream out(path);          // violation: raw ofstream
+    out << "half-written artifact";   // non-atomic publish
+    std::ifstream in(path);           // violation: raw ifstream
+    std::string text;
+    in >> text;
+    std::FILE* f = std::fopen(path.c_str(), "rb");  // violation: fopen
+    if (f != nullptr) std::fclose(f);
+    return text;
+}
+
+}  // namespace lint_fixture

@@ -1,0 +1,177 @@
+// DatasetCache behaviour: disabled passthrough, miss -> store -> hit,
+// corrupt-entry eviction, and the snap.cache.* metrics the warm-cache
+// CI smoke asserts on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ledger/payment_columns.hpp"
+#include "obs/metrics.hpp"
+#include "snap/dataset_cache.hpp"
+#include "snap/xcol.hpp"
+#include "util/file_io.hpp"
+
+namespace xrpl::snap {
+namespace {
+
+ledger::PaymentColumns sample_columns() {
+    ledger::PaymentColumns columns;
+    for (int i = 0; i < 300; ++i) {
+        ledger::TxRecord record;
+        record.sender =
+            ledger::AccountID::from_seed("alice" + std::to_string(i % 7));
+        record.destination = ledger::AccountID::from_seed("bob");
+        record.currency = ledger::Currency::from_code("USD");
+        record.amount =
+            ledger::IouAmount::from_mantissa_exponent(1'000 + i, -2);
+        record.time.seconds = i * 4;
+        columns.push_back(record);
+    }
+    return columns;
+}
+
+/// Fixture: a scratch cache directory wiped per test, with obs
+/// metrics enabled and zeroed so counter assertions are exact.
+class DatasetCacheTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::string("dataset_cache_test.tmp/") +
+               ::testing::UnitTest::GetInstance()->current_test_info()->name();
+        ASSERT_TRUE(util::ensure_directory(dir_));
+        was_enabled_ = obs::enabled();
+        obs::set_enabled(true);
+        obs::reset_metrics();
+    }
+    void TearDown() override {
+        obs::set_enabled(was_enabled_);
+        obs::reset_metrics();
+    }
+
+    [[nodiscard]] std::uint64_t metric(const char* name) const {
+        return obs::counter(name).value();
+    }
+
+    /// The scratch directory survives across ctest invocations, so a
+    /// test that asserts on miss/hit order must drop its entry first.
+    static void purge(const DatasetCache& cache, const std::string& key) {
+        ASSERT_TRUE(util::remove_file(cache.path_for(key)));
+    }
+
+    std::string dir_;
+    bool was_enabled_ = false;
+};
+
+TEST_F(DatasetCacheTest, DisabledCacheIsPurePassthrough) {
+    const DatasetCache cache("");
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_FALSE(cache.try_load("deadbeef").has_value());
+    EXPECT_FALSE(cache.store("deadbeef", sample_columns()));
+
+    int calls = 0;
+    const ledger::PaymentColumns columns =
+        cache.load_or_generate("deadbeef", [&] {
+            ++calls;
+            return sample_columns();
+        });
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(ledger::columns_fingerprint(columns),
+              ledger::columns_fingerprint(sample_columns()));
+    // A disabled cache never writes.
+    EXPECT_FALSE(util::file_exists(cache.path_for("deadbeef")));
+}
+
+TEST_F(DatasetCacheTest, MissStoresThenHitSkipsGeneration) {
+    const DatasetCache cache(dir_);
+    ASSERT_TRUE(cache.enabled());
+    const std::string key = "cafe0123";
+    purge(cache, key);
+
+    int calls = 0;
+    const auto generate = [&] {
+        ++calls;
+        return sample_columns();
+    };
+
+    const ledger::PaymentColumns cold = cache.load_or_generate(key, generate);
+    EXPECT_EQ(calls, 1);
+    EXPECT_TRUE(util::file_exists(cache.path_for(key)));
+    EXPECT_EQ(metric("snap.cache.misses"), 1u);
+    EXPECT_EQ(metric("snap.cache.stores"), 1u);
+    EXPECT_EQ(metric("snap.cache.hits"), 0u);
+
+    const ledger::PaymentColumns warm = cache.load_or_generate(key, generate);
+    EXPECT_EQ(calls, 1) << "warm path must not regenerate";
+    EXPECT_EQ(metric("snap.cache.hits"), 1u);
+    EXPECT_EQ(ledger::columns_fingerprint(warm),
+              ledger::columns_fingerprint(cold));
+}
+
+TEST_F(DatasetCacheTest, TryLoadReturnsExactStoredColumns) {
+    const DatasetCache cache(dir_);
+    const ledger::PaymentColumns columns = sample_columns();
+    purge(cache, "feedface");
+    ASSERT_TRUE(cache.store("feedface", columns));
+
+    const std::optional<ledger::PaymentColumns> loaded =
+        cache.try_load("feedface");
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(ledger::columns_fingerprint(*loaded),
+              ledger::columns_fingerprint(columns));
+}
+
+TEST_F(DatasetCacheTest, CorruptEntryIsEvictedAndRegenerated) {
+    const DatasetCache cache(dir_);
+    const std::string key = "0badc0de";
+    purge(cache, key);
+    ASSERT_TRUE(cache.store(key, sample_columns()));
+
+    // Damage the artifact in place.
+    const std::string path = cache.path_for(key);
+    auto bytes = util::read_file_bytes(path);
+    ASSERT_TRUE(bytes.has_value());
+    (*bytes)[bytes->size() / 2] ^= 0x20;
+    ASSERT_TRUE(util::write_file_bytes(path, *bytes));
+
+    // try_load refuses it, removes it, and counts the eviction.
+    EXPECT_FALSE(cache.try_load(key).has_value());
+    EXPECT_FALSE(util::file_exists(path));
+    EXPECT_EQ(metric("snap.cache.evictions"), 1u);
+
+    // load_or_generate then repairs the entry end to end.
+    int calls = 0;
+    const ledger::PaymentColumns columns =
+        cache.load_or_generate(key, [&] {
+            ++calls;
+            return sample_columns();
+        });
+    EXPECT_EQ(calls, 1);
+    EXPECT_TRUE(util::file_exists(path));
+    EXPECT_EQ(ledger::columns_fingerprint(columns),
+              ledger::columns_fingerprint(sample_columns()));
+}
+
+TEST_F(DatasetCacheTest, MissingEntryIsAMissNotAnEviction) {
+    const DatasetCache cache(dir_);
+    EXPECT_FALSE(cache.try_load("absent").has_value());
+    EXPECT_EQ(metric("snap.cache.evictions"), 0u);
+}
+
+TEST_F(DatasetCacheTest, StoredArtifactIsAValidXcolFile) {
+    // Cache entries are plain .xcol artifacts: snapctl / read_file_info
+    // must be able to inspect them.
+    const DatasetCache cache(dir_);
+    const ledger::PaymentColumns columns = sample_columns();
+    purge(cache, "11223344");
+    ASSERT_TRUE(cache.store("11223344", columns));
+
+    const auto info = read_file_info(cache.path_for("11223344"));
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->version, kXcolVersion);
+    EXPECT_EQ(info->rows, columns.size());
+}
+
+}  // namespace
+}  // namespace xrpl::snap

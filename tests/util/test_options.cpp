@@ -21,6 +21,7 @@ const char* const kAllVars[] = {
     "XRPL_BENCH_REPLAY_PAYMENTS",
     "XRPL_BENCH_DATAGEN_PAYMENTS",
     "XRPL_BENCH_JSON_DIR",
+    "XRPL_DATASET_DIR",
 };
 
 /// Every test starts and ends with a clean environment (the suite may
@@ -55,6 +56,7 @@ TEST_F(OptionsTest, DefaultsWithCleanEnvironment) {
     EXPECT_EQ(opts.bench_replay_payments, 40'000u);
     EXPECT_EQ(opts.bench_datagen_payments, 100'000u);
     EXPECT_EQ(opts.bench_json_dir, ".");
+    EXPECT_EQ(opts.dataset_dir, "");  // caching off by default
 }
 
 TEST_F(OptionsTest, ParsesEveryKnob) {
@@ -65,6 +67,7 @@ TEST_F(OptionsTest, ParsesEveryKnob) {
     ::setenv("XRPL_BENCH_REPLAY_PAYMENTS", "777", 1);
     ::setenv("XRPL_BENCH_DATAGEN_PAYMENTS", "4321", 1);
     ::setenv("XRPL_BENCH_JSON_DIR", "/tmp/reports", 1);
+    ::setenv("XRPL_DATASET_DIR", "/tmp/datasets", 1);
     const Options opts = Options::from_env();
     EXPECT_EQ(opts.threads, 3u);
     EXPECT_TRUE(opts.obs);
@@ -74,6 +77,7 @@ TEST_F(OptionsTest, ParsesEveryKnob) {
     EXPECT_EQ(opts.bench_replay_payments, 777u);
     EXPECT_EQ(opts.bench_datagen_payments, 4321u);
     EXPECT_EQ(opts.bench_json_dir, "/tmp/reports");
+    EXPECT_EQ(opts.dataset_dir, "/tmp/datasets");
 }
 
 TEST_F(OptionsTest, ObsExplicitDistinguishesZeroFromAbsent) {

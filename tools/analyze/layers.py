@@ -3,8 +3,13 @@ module DAG.
 
 The declared architecture (DESIGN.md §14):
 
-    util → {ledger, obs, exec} → core → {consensus, paths,
+    util → {ledger, obs, exec} → snap → core → {consensus, paths,
     analytics, datagen} → node        (tests/bench/examples on top)
+
+snap is the XCOL snapshot codec + dataset cache: it persists what
+ledger stores through exec's pool, and datagen (the producer) and the
+consumer layers above reach DOWN to it — never the reverse, so a
+format change can never ripple below the persistence boundary.
 
 Layer sets are shorthand for "may depend on every module in a lower
 layer"; the two deliberate intra-layer edges are declared explicitly
@@ -26,6 +31,7 @@ from tools.analyze.report import Finding
 LAYERS = [
     ["util"],
     ["ledger", "obs", "exec"],
+    ["snap"],
     ["core"],
     ["consensus", "paths", "analytics", "datagen"],
     ["node"],

@@ -31,6 +31,13 @@ Rules (rule ids in brackets):
                         once in util::Options (options.cpp's kOptionTable),
                         which keeps the README table, the strict parsers,
                         and the call sites in one place.
+  [no-adhoc-io]         raw file I/O (fopen family, std::ofstream/
+                        std::ifstream/std::fstream, std::filesystem
+                        streams) outside src/util and src/snap — every
+                        byte on disk goes through util::file_io's
+                        audited helpers (atomic writes, whole-file
+                        reads), which is what lets the dataset cache
+                        treat existence as validity.
   [no-adhoc-rng]        constructing util::Rng directly (`util::Rng r(seed)`,
                         `util::Rng{seed}`, temporaries) outside src/util and
                         tests — generators must come off the RngStream
@@ -92,6 +99,13 @@ ENV_RE = re.compile(
 # member declarations deliberately don't match; `(?!\w)` keeps
 # util::RngStream out.
 ADHOC_RNG_RE = re.compile(r"util\s*::\s*Rng(?!\w)\s*(?:[A-Za-z_]\w*\s*)?[({]")
+# Raw file I/O: the C stream openers, and naming any std stream class
+# that can touch the filesystem. `<fstream>` include lines don't reach
+# this rule (content rules skip preprocessor directives).
+ADHOC_IO_RE = re.compile(
+    r"(?<![\w:])(?:std\s*::\s*)?(?:fopen|freopen|fdopen)\s*\("
+    r"|(?<![\w:])std\s*::\s*[io]?fstream\b"
+    r"|(?<![\w:])std\s*::\s*basic_[io]?fstream\b")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
 MIX_RE = re.compile(r"\.\s*mix\s*\(")
 DOMAIN_TAG_RE = re.compile(r"k\w*Domain\b|word")
@@ -126,6 +140,11 @@ def check_content_rules(path, lines, raw_lines, in_src):
     adhoc_rng_exempt = (
         (REPO / "src" / "util") in path.parents
         or ((REPO / "tests") in path.parents and FIXTURES not in path.parents))
+    # util::file_io is the audited opener; src/snap is the persistence
+    # layer built directly on it. Everything else (tests and benches
+    # included) goes through those helpers.
+    io_exempt = ((REPO / "src" / "util") in path.parents
+                 or (REPO / "src" / "snap") in path.parents)
     for lineno, line in enumerate(lines, 1):
         if not rng_exempt and RAND_RE.search(line):
             yield Violation(path, lineno, "no-rand",
@@ -150,6 +169,12 @@ def check_content_rules(path, lines, raw_lines, in_src):
                             "direct environment read outside src/util — "
                             "declare the knob in util::Options and read the "
                             "typed field off util::options()")
+        if (not io_exempt and not line.lstrip().startswith("#")
+                and ADHOC_IO_RE.search(line)):
+            yield Violation(path, lineno, "no-adhoc-io",
+                            "raw file I/O outside src/util + src/snap — "
+                            "read/write through util::file_io so every "
+                            "artifact write is atomic and auditable")
         if (not adhoc_rng_exempt and ADHOC_RNG_RE.search(line)
                 and "rng-root" not in raw_lines[lineno - 1]):
             yield Violation(path, lineno, "no-adhoc-rng",
@@ -307,6 +332,7 @@ SELF_TEST_EXPECTATIONS = {
     "bad_includes.cpp": {"include-order"},
     "bad_thread.cpp": {"no-raw-thread"},
     "bad_adhoc_rng.cpp": {"no-adhoc-rng"},
+    "bad_io.cpp": {"no-adhoc-io"},
     "bad_timing.cpp": {"no-adhoc-timing"},
     "bad_env.cpp": {"no-adhoc-env"},
     "bad_raw_pragma.hpp": {"pragma-once"},

@@ -19,12 +19,35 @@ for width in 1 8; do
     --gtest_filter='DeterminismTest.*:ShardedDeterminismTest.*:ShardedSlicingTest.*:ObsParityTest.*' \
     --gtest_brief=1
 done
+# XCOL round-trip determinism: the snapshot a width-1 process saves
+# must be byte-identical to a width-8 one, and both must load back to
+# the same fingerprint (save -> load -> fingerprint; DESIGN.md §15).
+echo "--- xcol round-trip determinism (widths 1 and 8) ---"
+snap_dir=$(mktemp -d)
+for width in 1 8; do
+  XRPL_THREADS="${width}" \
+    ./examples/snapctl gen "${snap_dir}/w${width}.xcol" 4000 > /dev/null
+done
+cmp "${snap_dir}/w1.xcol" "${snap_dir}/w8.xcol"
+fp1=$(XRPL_THREADS=1 ./examples/snapctl verify "${snap_dir}/w1.xcol")
+fp8=$(XRPL_THREADS=8 ./examples/snapctl verify "${snap_dir}/w8.xcol")
+[ "${fp1#OK *: }" = "${fp8#OK *: }" ]
+echo "xcol round-trip OK: ${fp1#OK *: }"
+rm -rf "${snap_dir}"
 # Observability smoke run: one real bench through the harness must
 # emit a well-formed BENCH_<name>.json with live metrics and phases.
-echo "--- obs smoke run (fig4 via bench harness) ---"
+# Runs twice against a dataset cache: the first pass generates and
+# publishes, the second must be served from the snapshot
+# (snap.cache.hits >= 1) with byte-identical console output.
+echo "--- obs smoke run (fig4 via bench harness, cold + warm cache) ---"
 obs_dir=$(mktemp -d)
 XRPL_OBS=1 XRPL_BENCH_PAYMENTS=2000 XRPL_BENCH_JSON_DIR="${obs_dir}" \
-  ./bench/fig4_currencies > /dev/null
+  XRPL_DATASET_DIR="${obs_dir}/datasets" \
+  ./bench/fig4_currencies > "${obs_dir}/cold.out"
+XRPL_OBS=1 XRPL_BENCH_PAYMENTS=2000 XRPL_BENCH_JSON_DIR="${obs_dir}" \
+  XRPL_DATASET_DIR="${obs_dir}/datasets" \
+  ./bench/fig4_currencies > "${obs_dir}/warm.out"
+cmp "${obs_dir}/cold.out" "${obs_dir}/warm.out"
 python3 - "${obs_dir}/BENCH_fig4_currencies.json" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as fh:
@@ -34,10 +57,12 @@ assert report["bench"] == "fig4_currencies"
 assert report["wall_seconds"] > 0
 obs = report["obs"]
 assert obs["enabled"] is True
-assert obs["counters"].get("datagen.payments", 0) > 0, obs["counters"]
 assert obs["counters"].get("analytics.scans", 0) > 0, obs["counters"]
-assert any(c["name"] == "datagen.generate" for c in obs["phases"]["children"])
+# The warm pass (this JSON is the second run's) served the history
+# from the XCOL cache instead of regenerating it.
+assert obs["counters"].get("snap.cache.hits", 0) >= 1, obs["counters"]
+assert obs["counters"].get("snap.decode.rows", 0) > 0, obs["counters"]
 print("obs smoke run OK:", len(obs["counters"]), "counters,",
-      len(obs["histograms"]), "histograms")
+      len(obs["histograms"]), "histograms, warm pass cache-served")
 EOF
 rm -rf "${obs_dir}"
