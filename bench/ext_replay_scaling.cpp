@@ -1,0 +1,173 @@
+// Extension — replay throughput: CSR GraphIndex vs legacy scan.
+//
+// Builds a population snapshot sized by XRPL_BENCH_REPLAY_ACCOUNTS
+// (users; default 20,000 — the acceptance run uses 100,000), seeds
+// every Market Maker's order book, generates a delivered Table II
+// replay stream, then replays it twice: once through the legacy
+// lines_of() scan engine and once through the indexed engine. The two
+// replays must produce IDENTICAL ReplayStats and identical
+// paths.nodes_expanded totals — any divergence is a FATAL engine bug,
+// not a perf result. Reports payments/second for both engines and the
+// speedup as JSON (stdout); the same numbers land in
+// BENCH_ext_replay_scaling.json via bench gauges, next to the
+// paths.nodes_expanded and paths.index.* counters.
+//
+// Knobs: XRPL_BENCH_REPLAY_ACCOUNTS (population), and
+// XRPL_BENCH_REPLAY_PAYMENTS (stream length, default 40,000).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench/harness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stopwatch.hpp"
+#include "paths/replay.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+/// Population snapshots carry no offers (books are built by the
+/// workload stage this bench skips), so seed each maker's book here:
+/// two XRP-bridge quotes per currency the maker holds, fair-rate
+/// sized, deterministic in the derived rng. Enough for the engine's
+/// auto-bridge to serve the stream's cross-currency payments.
+void seed_offer_books(xrpl::ledger::LedgerState& state,
+                      const xrpl::datagen::Population& population,
+                      xrpl::util::Rng& rng) {
+    using xrpl::ledger::Amount;
+    using xrpl::ledger::Currency;
+    for (const xrpl::ledger::AccountID& maker : population.market_makers) {
+        std::vector<Currency> currencies;
+        for (const xrpl::ledger::TrustLine* line : state.lines_of(maker)) {
+            const Currency c = line->key().currency;
+            if (std::find(currencies.begin(), currencies.end(), c) ==
+                currencies.end()) {
+                currencies.push_back(c);
+            }
+        }
+        for (const Currency c : currencies) {
+            const double value = xrpl::datagen::usd_value(c);
+            const double depth = (5e5 / value) * rng.lognormal(0.0, 0.4);
+            const double xrp_per_unit =
+                value / xrpl::datagen::usd_value(Currency::xrp());
+            // Maker sells c for XRP and XRP for c, with a small spread.
+            state.place_offer(maker, Amount::iou(c, depth),
+                              Amount::iou(Currency::xrp(),
+                                          depth * xrp_per_unit *
+                                              rng.uniform(1.002, 1.02)));
+            state.place_offer(
+                maker, Amount::iou(Currency::xrp(), depth * xrp_per_unit),
+                Amount::iou(c, depth / rng.uniform(1.002, 1.02)));
+        }
+    }
+}
+
+}  // namespace
+
+XRPL_BENCH("ext_replay_scaling", "Extension",
+           "replay throughput: CSR graph index vs legacy scan") {
+    using namespace xrpl;
+
+    datagen::GeneratorConfig config;
+    config.seed = 20150815;
+    config.num_users = util::options().bench_replay_accounts;
+    config.num_gateways = 40;
+    config.num_market_makers =
+        std::clamp<std::size_t>(config.num_users / 100, 40, 400);
+    config.num_merchants =
+        std::clamp<std::size_t>(config.num_users / 16, 100, 8'000);
+    config.num_hubs = 20;
+
+    std::cout << "[population: " << config.num_users << " users ...]\n";
+    datagen::PopulationSnapshot snapshot =
+        datagen::generate_population_only(config);
+    util::Rng offer_rng = util::RngStream(config.seed).derive("offers").rng();
+    seed_offer_books(snapshot.ledger, snapshot.population, offer_rng);
+
+    const std::uint64_t stream = util::options().bench_replay_payments;
+    util::Rng rng = util::RngStream(config.seed).derive("replay").rng();
+    const auto payments = datagen::make_delivered_replay_workload(
+        snapshot.population, snapshot.ledger, stream, 0.687, rng);
+    std::cout << "[accounts: " << snapshot.ledger.account_count()
+              << ", offers: " << snapshot.ledger.offer_count()
+              << ", replay stream: " << payments.size() << " payments]\n\n";
+
+    struct Run {
+        const char* name = "";
+        bool use_index = false;
+        double seconds = 0.0;
+        double payments_per_sec = 0.0;
+        std::uint64_t nodes_expanded = 0;
+        paths::ReplayStats stats;
+    };
+    Run runs[2];
+    runs[0].name = "scan";
+    runs[0].use_index = false;
+    runs[1].name = "indexed";
+    runs[1].use_index = true;
+
+    obs::Counter& expanded = obs::counter("paths.nodes_expanded");
+    for (Run& run : runs) {
+        ledger::LedgerState world = snapshot.ledger.clone();
+        paths::EngineConfig engine_config;
+        engine_config.use_path_index = run.use_index;
+        paths::PaymentEngine engine(world, engine_config);
+        const std::uint64_t before = expanded.value();
+        const obs::Stopwatch watch;
+        run.stats = paths::replay(engine, payments);
+        run.seconds = watch.elapsed_seconds();
+        run.nodes_expanded = expanded.value() - before;
+        run.payments_per_sec =
+            static_cast<double>(payments.size()) / run.seconds;
+    }
+
+    const Run& scan = runs[0];
+    const Run& indexed = runs[1];
+    if (scan.stats.cross_delivered != indexed.stats.cross_delivered ||
+        scan.stats.single_delivered != indexed.stats.single_delivered ||
+        scan.stats.cross_submitted != indexed.stats.cross_submitted ||
+        scan.stats.single_submitted != indexed.stats.single_submitted) {
+        std::cerr << "FATAL: ReplayStats diverged between engines (scan "
+                  << scan.stats.delivered() << "/" << scan.stats.submitted()
+                  << ", indexed " << indexed.stats.delivered() << "/"
+                  << indexed.stats.submitted() << ")\n";
+        return 1;
+    }
+    if (scan.nodes_expanded != indexed.nodes_expanded) {
+        std::cerr << "FATAL: nodes_expanded diverged (scan "
+                  << scan.nodes_expanded << ", indexed "
+                  << indexed.nodes_expanded << ")\n";
+        return 1;
+    }
+
+    const double speedup = indexed.payments_per_sec / scan.payments_per_sec;
+    // Mirror the headline numbers into the BENCH json's obs section.
+    obs::gauge("bench.replay.scan_pps")
+        .set(static_cast<std::int64_t>(scan.payments_per_sec));
+    obs::gauge("bench.replay.indexed_pps")
+        .set(static_cast<std::int64_t>(indexed.payments_per_sec));
+    obs::gauge("bench.replay.speedup_pct")
+        .set(static_cast<std::int64_t>(speedup * 100.0));
+    obs::gauge("bench.replay.accounts")
+        .set(static_cast<std::int64_t>(snapshot.ledger.account_count()));
+
+    std::cout << "{\n"
+              << "  \"bench\": \"ext_replay_scaling\",\n"
+              << "  \"accounts\": " << snapshot.ledger.account_count() << ",\n"
+              << "  \"payments\": " << payments.size() << ",\n"
+              << "  \"delivered\": " << indexed.stats.delivered() << ",\n"
+              << "  \"nodes_expanded\": " << indexed.nodes_expanded << ",\n"
+              << "  \"results\": [\n";
+    for (std::size_t i = 0; i < 2; ++i) {
+        const Run& run = runs[i];
+        std::cout << "    {\"engine\": \"" << run.name << "\", \"seconds\": "
+                  << run.seconds << ", \"payments_per_sec\": "
+                  << static_cast<std::uint64_t>(run.payments_per_sec) << "}"
+                  << (i == 0 ? "," : "") << "\n";
+    }
+    std::cout << "  ],\n"
+              << "  \"speedup\": " << speedup << "\n"
+              << "}\n";
+    return 0;
+}

@@ -17,6 +17,7 @@ LedgerState LedgerState::clone() const {
     copy.books_ = books_;
     copy.burned_ = burned_;
     copy.next_offer_id_ = next_offer_id_;
+    copy.topology_generation_ = topology_generation_;
     copy.adjacency_.reserve(adjacency_.size());
     for (auto& [key, line] : copy.lines_) {
         copy.adjacency_[key.low].push_back(&line);
@@ -32,7 +33,10 @@ bool LedgerState::create_account(const AccountID& id, XrpAmount initial_balance,
         id, AccountRoot{id, initial_balance, 0, is_gateway,
                         is_gateway || allows_rippling, index});
     (void)it;
-    if (inserted) index_to_account_.push_back(id);
+    if (inserted) {
+        index_to_account_.push_back(id);
+        ++topology_generation_;
+    }
     return inserted;
 }
 
@@ -80,6 +84,7 @@ TrustLine& LedgerState::set_trust(const AccountID& from, const AccountID& to,
         it = lines_.emplace(key, line).first;
         adjacency_[key.low].push_back(&it->second);
         adjacency_[key.high].push_back(&it->second);
+        ++topology_generation_;
     } else {
         it->second.set_limit_of(from, limit);
     }

@@ -141,6 +141,15 @@ public:
 
     [[nodiscard]] std::size_t trustline_count() const noexcept { return lines_.size(); }
 
+    /// Monotonic counter bumped on every TOPOLOGY change — account
+    /// creation or trust-line creation. Balance and limit updates on
+    /// existing lines do NOT bump it: derived adjacency structures
+    /// (paths::GraphIndex) read capacities live through TrustLine
+    /// pointers, so only new nodes/edges invalidate them.
+    [[nodiscard]] std::uint64_t topology_generation() const noexcept {
+        return topology_generation_;
+    }
+
     /// Net IOU position of an account across all its lines, converted
     /// with per-currency rates (currency -> value of 1 unit in the
     /// reference currency). Used for Fig 7(c) balances.
@@ -195,6 +204,7 @@ private:
     std::unordered_map<BookKey, std::vector<Offer>> books_;
     XrpAmount burned_;
     std::uint64_t next_offer_id_ = 1;
+    std::uint64_t topology_generation_ = 0;
 };
 
 }  // namespace xrpl::ledger

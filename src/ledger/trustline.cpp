@@ -34,6 +34,12 @@ IouAmount TrustLine::capacity_from(const AccountID& sender) const noexcept {
     return limit_of(receiver) - balance_for(receiver);
 }
 
+IouAmount TrustLine::directed_capacity(bool from_low) const noexcept {
+    // Same expressions capacity_from evaluates after resolving the
+    // receiver: sender == low -> limit_high_ - balance_for(high).
+    return from_low ? limit_high_ - balance_.negated() : limit_low_ - balance_;
+}
+
 bool TrustLine::transfer_from(const AccountID& sender, IouAmount amount) noexcept {
     if (amount.is_zero() || amount.is_negative()) return false;
     if (amount > capacity_from(sender)) return false;

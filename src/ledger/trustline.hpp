@@ -52,6 +52,12 @@ public:
     /// endpoint: receiver's current claim headroom.
     [[nodiscard]] IouAmount capacity_from(const AccountID& sender) const noexcept;
 
+    /// capacity_from keyed by endpoint position instead of identity:
+    /// the CSR graph index stores "which end is the sender" as one bit
+    /// so its inner loop never compares AccountIDs. Bit-for-bit equal
+    /// to capacity_from(low) / capacity_from(high).
+    [[nodiscard]] IouAmount directed_capacity(bool from_low) const noexcept;
+
     /// Move `amount` of value from `sender` to the other endpoint.
     /// Returns false (and leaves the line untouched) if `amount`
     /// exceeds the current capacity or is not positive.

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "obs/metrics.hpp"
+#include "paths/graph_index.hpp"
 
 namespace xrpl::paths {
 
@@ -32,19 +33,78 @@ IouAmount path_capacity(const LedgerState& ledger,
     return best;
 }
 
+/// Legacy engine: enumerate via the lines_of() scan, resolving each
+/// peer's dense index and rippling flag through account() lookups.
+struct ScanExpander {
+    const TrustGraph& graph;
+    ledger::Currency currency;
+
+    template <typename Visit>
+    void out(std::uint32_t node_index, Visit&& visit) const {
+        const LedgerState& ledger = graph.ledger();
+        graph.for_each_neighbor(
+            ledger.account_by_index(node_index), currency,
+            [&](const AccountID& peer, const ledger::TrustLine*) {
+                const ledger::AccountRoot* root = ledger.account(peer);
+                if (root == nullptr) return;
+                visit(root->index, root->allows_rippling);
+            });
+    }
+
+    template <typename Visit>
+    void in(std::uint32_t node_index, Visit&& visit) const {
+        const LedgerState& ledger = graph.ledger();
+        graph.for_each_in_neighbor(
+            ledger.account_by_index(node_index), currency,
+            [&](const AccountID& peer, const ledger::TrustLine*) {
+                const ledger::AccountRoot* root = ledger.account(peer);
+                if (root == nullptr) return;
+                visit(root->index, root->allows_rippling);
+            });
+    }
+};
+
+/// Indexed engine: walk the currency partition's CSR spans. No
+/// hashing, no account() lookups — peer index, direction bit, and
+/// rippling flag are all in the 16-byte Edge record; only capacity is
+/// read live through the TrustLine pointer. A null partition (no line
+/// in this currency) behaves as an empty graph so both engines walk
+/// the same trivial frontier.
+struct IndexedExpander {
+    const TrustGraph& graph;
+    const GraphIndex::Partition* part;
+
+    template <typename Visit>
+    void out(std::uint32_t node_index, Visit&& visit) const {
+        if (part == nullptr) return;
+        for (const GraphIndex::Edge& edge : part->edges_of(node_index)) {
+            if (graph.is_excluded_index(edge.peer)) continue;
+            const IouAmount cap = edge.line->directed_capacity(edge.node_is_low);
+            if (cap.is_zero() || cap.is_negative()) continue;
+            visit(edge.peer, edge.peer_ripples);
+        }
+    }
+
+    template <typename Visit>
+    void in(std::uint32_t node_index, Visit&& visit) const {
+        if (part == nullptr) return;
+        for (const GraphIndex::Edge& edge : part->edges_of(node_index)) {
+            if (graph.is_excluded_index(edge.peer)) continue;
+            const IouAmount cap = edge.line->directed_capacity(!edge.node_is_low);
+            if (cap.is_zero() || cap.is_negative()) continue;
+            visit(edge.peer, edge.peer_ripples);
+        }
+    }
+};
+
 }  // namespace
 
-std::optional<TrustPath> PathFinder::find(const TrustGraph& graph,
-                                          const AccountID& from,
-                                          const AccountID& to,
-                                          ledger::Currency currency) {
+template <typename Expander>
+std::optional<TrustPath> PathFinder::run_search(
+    const TrustGraph& graph, const Expander& expand, const AccountID& from,
+    const AccountID& to, std::uint32_t src_index, std::uint32_t dst_index,
+    ledger::Currency currency) {
     const LedgerState& ledger = graph.ledger();
-    const ledger::AccountRoot* src = ledger.account(from);
-    const ledger::AccountRoot* dst = ledger.account(to);
-    if (src == nullptr || dst == nullptr) return std::nullopt;
-    if (graph.is_excluded(from) || graph.is_excluded(to)) return std::nullopt;
-
-    if (from == to) return std::nullopt;
 
     if (nodes_.size() < ledger.account_count()) {
         nodes_.resize(ledger.account_count());
@@ -64,10 +124,10 @@ std::optional<TrustPath> PathFinder::find(const TrustGraph& graph,
         return state(index).epoch == epoch_;
     };
 
-    std::deque<std::uint32_t> forward{src->index};
-    std::deque<std::uint32_t> backward{dst->index};
-    mark(src->index, 1, src->index, 0);
-    mark(dst->index, 2, dst->index, 0);
+    std::deque<std::uint32_t> forward{src_index};
+    std::deque<std::uint32_t> backward{dst_index};
+    mark(src_index, 1, src_index, 0);
+    mark(dst_index, 2, dst_index, 0);
 
     // Total path length cap: intermediate hops + the two endpoints.
     const std::size_t max_edges = config_.max_intermediate_hops + 1;
@@ -95,18 +155,14 @@ std::optional<TrustPath> PathFinder::find(const TrustGraph& graph,
         std::deque<std::uint32_t> next_frontier;
         for (const std::uint32_t node_index : frontier) {
             if (meeting) break;
-            const AccountID& node = ledger.account_by_index(node_index);
-            auto visit = [&](const AccountID& peer, const ledger::TrustLine*) {
+            auto visit = [&](std::uint32_t peer_index, bool peer_ripples) {
                 if (meeting) return;
-                const ledger::AccountRoot* peer_root = ledger.account(peer);
-                if (peer_root == nullptr) return;
                 // DefaultRipple: only rippling-enabled accounts may sit
                 // in the interior of a path; the two endpoints always may.
-                if (!peer_root->allows_rippling && !(peer == from) &&
-                    !(peer == to)) {
+                if (!peer_ripples && peer_index != src_index &&
+                    peer_index != dst_index) {
                     return;
                 }
-                const std::uint32_t peer_index = peer_root->index;
                 if (seen(peer_index)) {
                     if (state(peer_index).direction != direction) {
                         // Frontiers met: peer was reached from the other
@@ -121,9 +177,9 @@ std::optional<TrustPath> PathFinder::find(const TrustGraph& graph,
                 ++visited;
             };
             if (expand_forward) {
-                graph.for_each_neighbor(node, currency, visit);
+                expand.out(node_index, visit);
             } else {
-                graph.for_each_in_neighbor(node, currency, visit);
+                expand.in(node_index, visit);
             }
         }
         frontier = std::move(next_frontier);
@@ -181,6 +237,27 @@ std::optional<TrustPath> PathFinder::find(const TrustGraph& graph,
     path.capacity = path_capacity(ledger, path.nodes, currency);
     if (path.capacity.is_zero() || path.capacity.is_negative()) return std::nullopt;
     return path;
+}
+
+std::optional<TrustPath> PathFinder::find(const TrustGraph& graph,
+                                          const AccountID& from,
+                                          const AccountID& to,
+                                          ledger::Currency currency) {
+    const LedgerState& ledger = graph.ledger();
+    const ledger::AccountRoot* src = ledger.account(from);
+    const ledger::AccountRoot* dst = ledger.account(to);
+    if (src == nullptr || dst == nullptr) return std::nullopt;
+    if (graph.is_excluded(from) || graph.is_excluded(to)) return std::nullopt;
+
+    if (from == to) return std::nullopt;
+
+    if (graph.uses_index()) {
+        const IndexedExpander expand{graph, graph.index().partition(currency)};
+        return run_search(graph, expand, from, to, src->index, dst->index,
+                          currency);
+    }
+    const ScanExpander expand{graph, currency};
+    return run_search(graph, expand, from, to, src->index, dst->index, currency);
 }
 
 }  // namespace xrpl::paths

@@ -58,6 +58,10 @@ struct EngineConfig {
     bool allow_xrp_bridge = true;
     /// Flat fee burned per transaction, in drops.
     ledger::XrpAmount fee{10};
+    /// Answer neighbor queries through the CSR GraphIndex (default,
+    /// the XRPL_PATH_INDEX option) or the legacy lines_of() scan.
+    /// Both engines return identical paths and ReplayStats.
+    bool use_path_index = util::options().path_index;
 };
 
 /// Executes payments against a LedgerState.
@@ -65,7 +69,7 @@ class PaymentEngine {
 public:
     explicit PaymentEngine(ledger::LedgerState& ledger, EngineConfig config = {})
         : ledger_(&ledger),
-          graph_(ledger),
+          graph_(ledger, config.use_path_index),
           finder_(config.path),
           widest_finder_(config.path),
           config_(config) {}

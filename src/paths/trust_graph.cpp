@@ -1,4 +1,20 @@
 #include "paths/trust_graph.hpp"
 
-// TrustGraph is header-only (template members); this translation unit
-// exists so the build file mirrors the module inventory in DESIGN.md.
+namespace xrpl::paths {
+
+void TrustGraph::exclude(const ledger::AccountID& account) {
+    excluded_.insert(account);
+    if (const ledger::AccountRoot* root = ledger_->account(account)) {
+        if (excluded_stamp_.size() < ledger_->account_count()) {
+            excluded_stamp_.resize(ledger_->account_count(), 0);
+        }
+        excluded_stamp_[root->index] = exclusion_epoch_;
+    }
+}
+
+void TrustGraph::clear_exclusions() noexcept {
+    excluded_.clear();
+    ++exclusion_epoch_;
+}
+
+}  // namespace xrpl::paths

@@ -5,26 +5,46 @@
 // plus an exclusion set used by the replay harness to simulate
 // removed accounts (the paper's Market-Maker-removal experiment,
 // Table II) without destroying ledger state.
+//
+// Two engines answer neighbor queries (selected by the XRPL_PATH_INDEX
+// option, overridable per instance):
+//  * indexed (default) — a lazily built, currency-partitioned CSR
+//    GraphIndex; the BFS inner loop walks flat uint32 spans.
+//  * legacy scan — the original lines_of() scan, kept as the parity
+//    reference (for_each_neighbor / for_each_in_neighbor below).
+// Both produce identical paths and ReplayStats; the parity suite
+// (tests/integration/test_replay_parity.cpp) enforces it.
 #pragma once
 
 #include <unordered_set>
+#include <vector>
 
 #include "ledger/ledger.hpp"
+#include "paths/graph_index.hpp"
 #include "util/contract.hpp"
+#include "util/options.hpp"
 
 namespace xrpl::paths {
 
 class TrustGraph {
 public:
-    explicit TrustGraph(const ledger::LedgerState& ledger) noexcept
-        : ledger_(&ledger) {}
+    explicit TrustGraph(const ledger::LedgerState& ledger,
+                        bool use_index = util::options().path_index) noexcept
+        : ledger_(&ledger), use_index_(use_index) {}
 
     /// Mark an account as removed: it will not be offered as a
     /// neighbor, endpoint checks are the caller's job.
-    void exclude(const ledger::AccountID& account) { excluded_.insert(account); }
-    void clear_exclusions() noexcept { excluded_.clear(); }
+    void exclude(const ledger::AccountID& account);
+    void clear_exclusions() noexcept;
     [[nodiscard]] bool is_excluded(const ledger::AccountID& account) const {
         return excluded_.contains(account);
+    }
+    /// Index-space probe for the CSR engine: one bounds check + one
+    /// load against the epoch-stamped exclusion array (clearing bumps
+    /// the epoch instead of rewriting stamps).
+    [[nodiscard]] bool is_excluded_index(std::uint32_t index) const noexcept {
+        return index < excluded_stamp_.size() &&
+               excluded_stamp_[index] == exclusion_epoch_;
     }
     [[nodiscard]] std::size_t exclusion_count() const noexcept {
         return excluded_.size();
@@ -34,9 +54,21 @@ public:
         return excluded_;
     }
 
+    /// Which engine this graph's searches use.
+    [[nodiscard]] bool uses_index() const noexcept { return use_index_; }
+
+    /// The CSR index, rebuilt here if the ledger topology moved since
+    /// the last query. Exclusions never invalidate it (they are
+    /// visit-time filters), and neither do balance/limit updates.
+    [[nodiscard]] const GraphIndex& index() const {
+        index_.ensure(*ledger_);
+        return index_;
+    }
+
     /// Invoke `fn(peer, line)` for every neighbor reachable from
     /// `from` over a `currency` trust line with positive capacity in
-    /// the from->peer direction. Excluded peers are skipped.
+    /// the from->peer direction. Excluded peers are skipped. (Legacy
+    /// scan enumeration — the parity reference for the CSR engine.)
     template <typename Fn>
     void for_each_neighbor(const ledger::AccountID& from, ledger::Currency currency,
                            Fn&& fn) const {
@@ -49,10 +81,8 @@ public:
             XRPL_ASSERT(!(peer == from),
                         "trust lines must connect two distinct accounts");
             if (is_excluded(peer)) continue;
-            if (line->capacity_from(from).is_zero() ||
-                line->capacity_from(from).is_negative()) {
-                continue;
-            }
+            const ledger::IouAmount capacity = line->capacity_from(from);
+            if (capacity.is_zero() || capacity.is_negative()) continue;
             fn(peer, line);
         }
     }
@@ -77,10 +107,8 @@ public:
             if (line->key().currency != currency) continue;
             const ledger::AccountID& peer = line->peer_of(to);
             if (is_excluded(peer)) continue;
-            if (line->capacity_from(peer).is_zero() ||
-                line->capacity_from(peer).is_negative()) {
-                continue;
-            }
+            const ledger::IouAmount capacity = line->capacity_from(peer);
+            if (capacity.is_zero() || capacity.is_negative()) continue;
             fn(peer, line);
         }
     }
@@ -90,6 +118,12 @@ public:
 private:
     const ledger::LedgerState* ledger_;
     std::unordered_set<ledger::AccountID> excluded_;
+    /// excluded_stamp_[i] == exclusion_epoch_ means account index i is
+    /// excluded. clear_exclusions() bumps the epoch: O(1), no rewrite.
+    std::vector<std::uint64_t> excluded_stamp_;
+    std::uint64_t exclusion_epoch_ = 1;
+    bool use_index_;
+    mutable GraphIndex index_;
 };
 
 }  // namespace xrpl::paths

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <queue>
-#include <unordered_map>
 
+#include "paths/graph_index.hpp"
 #include "util/contract.hpp"
 
 namespace xrpl::paths {
@@ -12,14 +12,7 @@ namespace {
 
 using ledger::AccountID;
 using ledger::IouAmount;
-
-struct NodeLabel {
-    IouAmount best;         // widest bottleneck found so far
-    std::uint32_t parent = 0;
-    std::uint8_t depth = 0;
-    bool settled = false;
-    bool seen = false;
-};
+using ledger::LedgerState;
 
 struct QueueEntry {
     IouAmount bottleneck;
@@ -31,76 +24,119 @@ struct QueueEntry {
     }
 };
 
+/// Legacy engine: lines_of() scan with per-visit account() lookups.
+/// Capacity is re-read from the line (same value the scan's own
+/// positive-capacity filter computed).
+struct ScanExpander {
+    const TrustGraph& graph;
+    ledger::Currency currency;
+
+    template <typename Visit>
+    void out(std::uint32_t node_index, Visit&& visit) const {
+        const LedgerState& ledger = graph.ledger();
+        const AccountID& node = ledger.account_by_index(node_index);
+        graph.for_each_neighbor(
+            node, currency,
+            [&](const AccountID& peer, const ledger::TrustLine* line) {
+                const ledger::AccountRoot* root = ledger.account(peer);
+                if (root == nullptr) return;
+                visit(root->index, root->allows_rippling,
+                      line->capacity_from(node));
+            });
+    }
+};
+
+/// Indexed engine: flat CSR span walk; capacity read live through the
+/// stored TrustLine pointer, direction resolved by the edge's bit.
+struct IndexedExpander {
+    const TrustGraph& graph;
+    const GraphIndex::Partition* part;
+
+    template <typename Visit>
+    void out(std::uint32_t node_index, Visit&& visit) const {
+        if (part == nullptr) return;
+        for (const GraphIndex::Edge& edge : part->edges_of(node_index)) {
+            if (graph.is_excluded_index(edge.peer)) continue;
+            const IouAmount cap = edge.line->directed_capacity(edge.node_is_low);
+            if (cap.is_zero() || cap.is_negative()) continue;
+            visit(edge.peer, edge.peer_ripples, cap);
+        }
+    }
+};
+
 }  // namespace
 
-std::optional<TrustPath> WidestPathFinder::find(const TrustGraph& graph,
-                                                const AccountID& from,
-                                                const AccountID& to,
-                                                ledger::Currency currency) {
-    const ledger::LedgerState& ledger = graph.ledger();
-    const ledger::AccountRoot* src = ledger.account(from);
-    const ledger::AccountRoot* dst = ledger.account(to);
-    if (src == nullptr || dst == nullptr || from == to) return std::nullopt;
-    if (graph.is_excluded(from) || graph.is_excluded(to)) return std::nullopt;
+template <typename Expander>
+std::optional<TrustPath> WidestPathFinder::run_search(
+    const TrustGraph& graph, const Expander& expand, const AccountID& from,
+    const AccountID& to, std::uint32_t src_index, std::uint32_t dst_index) {
+    const LedgerState& ledger = graph.ledger();
 
-    std::unordered_map<std::uint32_t, NodeLabel> labels;
+    if (labels_.size() < ledger.account_count()) {
+        labels_.resize(ledger.account_count());
+    }
+    ++epoch_;
+
+    auto label_of = [&](std::uint32_t index) -> NodeLabel& {
+        NodeLabel& label = labels_[index];
+        if (label.epoch != epoch_) {
+            label = NodeLabel{};
+            label.epoch = epoch_;
+        }
+        return label;
+    };
+    auto seen = [&](std::uint32_t index) {
+        return labels_[index].epoch == epoch_;
+    };
+
     std::priority_queue<QueueEntry> frontier;
 
-    NodeLabel& origin = labels[src->index];
+    NodeLabel& origin = label_of(src_index);
     origin.best = IouAmount::from_double(1e90);  // effectively infinite
-    origin.parent = src->index;
-    origin.seen = true;
-    frontier.push(QueueEntry{origin.best, src->index});
+    origin.parent = src_index;
+    frontier.push(QueueEntry{origin.best, src_index});
 
     std::size_t visited = 0;
     while (!frontier.empty()) {
         const QueueEntry top = frontier.top();
         frontier.pop();
-        NodeLabel& label = labels[top.index];
+        NodeLabel& label = label_of(top.index);
         if (label.settled) continue;
         if (!(top.bottleneck == label.best)) continue;  // stale entry
         label.settled = true;
-        if (top.index == dst->index) break;
+        if (top.index == dst_index) break;
         if (++visited > config_.max_visited) return std::nullopt;
         if (label.depth >= config_.max_intermediate_hops + 1) continue;
 
-        const AccountID& node = ledger.account_by_index(top.index);
-        graph.for_each_neighbor(
-            node, currency,
-            [&](const AccountID& peer, const ledger::TrustLine* line) {
-                const ledger::AccountRoot* peer_root = ledger.account(peer);
-                if (peer_root == nullptr) return;
-                if (!peer_root->allows_rippling && !(peer == to)) return;
-                const IouAmount edge = line->capacity_from(node);
-                // TrustGraph::for_each_neighbor filters non-positive
-                // capacities; a negative edge here means the filter and
-                // this relaxation disagree about direction.
-                XRPL_ASSERT(!edge.is_negative(),
-                            "trust graph must only offer positive-capacity edges");
-                const IouAmount bottleneck =
-                    edge < label.best ? edge : label.best;
-                if (bottleneck.is_zero() || bottleneck.is_negative()) return;
-                NodeLabel& peer_label = labels[peer_root->index];
-                if (peer_label.settled) return;
-                if (!peer_label.seen || peer_label.best < bottleneck) {
-                    peer_label.seen = true;
-                    peer_label.best = bottleneck;
-                    peer_label.parent = top.index;
-                    peer_label.depth = static_cast<std::uint8_t>(label.depth + 1);
-                    frontier.push(QueueEntry{bottleneck, peer_root->index});
-                }
-            });
+        expand.out(top.index, [&](std::uint32_t peer_index, bool peer_ripples,
+                                  IouAmount edge) {
+            if (!peer_ripples && peer_index != dst_index) return;
+            // The expanders filter non-positive capacities; a negative
+            // edge here means the filter and this relaxation disagree
+            // about direction.
+            XRPL_ASSERT(!edge.is_negative(),
+                        "trust graph must only offer positive-capacity edges");
+            const IouAmount bottleneck = edge < label.best ? edge : label.best;
+            if (bottleneck.is_zero() || bottleneck.is_negative()) return;
+            NodeLabel& peer_label = label_of(peer_index);
+            if (peer_label.settled) return;
+            if (peer_label.best.is_zero() || peer_label.best < bottleneck) {
+                peer_label.best = bottleneck;
+                peer_label.parent = top.index;
+                peer_label.depth = static_cast<std::uint8_t>(label.depth + 1);
+                frontier.push(QueueEntry{bottleneck, peer_index});
+            }
+        });
     }
 
-    const auto it = labels.find(dst->index);
-    if (it == labels.end() || !it->second.seen) return std::nullopt;
+    if (!seen(dst_index)) return std::nullopt;
 
     TrustPath path;
-    path.capacity = it->second.best;
-    std::uint32_t cursor = dst->index;
+    path.capacity = labels_[dst_index].best;
+    std::uint32_t cursor = dst_index;
     while (true) {
         path.nodes.push_back(ledger.account_by_index(cursor));
-        const NodeLabel& label = labels.at(cursor);
+        const NodeLabel& label = labels_[cursor];
         if (label.parent == cursor) break;
         cursor = label.parent;
     }
@@ -114,6 +150,24 @@ std::optional<TrustPath> WidestPathFinder::find(const TrustGraph& graph,
     XRPL_INVARIANT(!path.capacity.is_zero() && !path.capacity.is_negative(),
                    "widest-path bottleneck capacity must be positive");
     return path;
+}
+
+std::optional<TrustPath> WidestPathFinder::find(const TrustGraph& graph,
+                                                const AccountID& from,
+                                                const AccountID& to,
+                                                ledger::Currency currency) {
+    const LedgerState& ledger = graph.ledger();
+    const ledger::AccountRoot* src = ledger.account(from);
+    const ledger::AccountRoot* dst = ledger.account(to);
+    if (src == nullptr || dst == nullptr || from == to) return std::nullopt;
+    if (graph.is_excluded(from) || graph.is_excluded(to)) return std::nullopt;
+
+    if (graph.uses_index()) {
+        const IndexedExpander expand{graph, graph.index().partition(currency)};
+        return run_search(graph, expand, from, to, src->index, dst->index);
+    }
+    const ScanExpander expand{graph, currency};
+    return run_search(graph, expand, from, to, src->index, dst->index);
 }
 
 }  // namespace xrpl::paths

@@ -6,9 +6,15 @@
 // paths move more value per path, so payments need fewer parallel
 // paths at the cost of longer routes — the trade the
 // `micro_benchmarks` ablation and DESIGN.md §6 examine.
+//
+// Like PathFinder, the relaxation core is one template instantiated
+// over the CSR GraphIndex expander (default) and the legacy lines_of()
+// scan; labels live in an epoch-stamped flat scratch vector keyed by
+// dense account index (no per-call hash map).
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "paths/path_finder.hpp"
 
@@ -30,7 +36,31 @@ public:
     [[nodiscard]] const PathFinderConfig& config() const noexcept { return config_; }
 
 private:
+    /// Engine-agnostic max-bottleneck Dijkstra. `expand.out(i, visit)`
+    /// calls visit(peer_index, peer_ripples, capacity) for every
+    /// positive-capacity, non-excluded out-neighbor of dense index i.
+    /// Defined in widest_path.cpp; instantiated for the two expanders.
+    template <typename Expander>
+    std::optional<TrustPath> run_search(const TrustGraph& graph,
+                                        const Expander& expand,
+                                        const ledger::AccountID& from,
+                                        const ledger::AccountID& to,
+                                        std::uint32_t src_index,
+                                        std::uint32_t dst_index);
+
     PathFinderConfig config_;
+
+    // Scratch labels, keyed by dense account index; `epoch` marks
+    // entries live for the current search (no clearing between calls).
+    struct NodeLabel {
+        std::uint64_t epoch = 0;
+        ledger::IouAmount best;  // widest bottleneck found so far
+        std::uint32_t parent = 0;
+        std::uint8_t depth = 0;
+        bool settled = false;
+    };
+    std::vector<NodeLabel> labels_;
+    std::uint64_t epoch_ = 0;
 };
 
 }  // namespace xrpl::paths

@@ -14,7 +14,10 @@ using ledger::LedgerState;
 
 const Currency kUsd = Currency::from_code("USD");
 
-class PathFinderTest : public ::testing::Test {
+/// Every test runs against BOTH neighbor engines: the CSR GraphIndex
+/// (param = true) and the legacy lines_of() scan (param = false). The
+/// two must agree on every path, including tie-breaks.
+class PathFinderTest : public ::testing::TestWithParam<bool> {
 protected:
     AccountID add(const std::string& seed) {
         const AccountID id = AccountID::from_seed(seed);
@@ -27,37 +30,46 @@ protected:
         state_.set_trust(to, from, kUsd, IouAmount::from_double(limit));
     }
 
+    [[nodiscard]] TrustGraph graph() const {
+        return TrustGraph(state_, GetParam());
+    }
+
     LedgerState state_;
     PathFinder finder_;
 };
 
-TEST_F(PathFinderTest, FindsDirectEdge) {
+INSTANTIATE_TEST_SUITE_P(Engines, PathFinderTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                             return info.param ? "Indexed" : "Scan";
+                         });
+
+TEST_P(PathFinderTest, FindsDirectEdge) {
     const AccountID a = add("a");
     const AccountID b = add("b");
     edge(a, b, 50.0);
-    const TrustGraph graph(state_);
-    const auto path = finder_.find(graph, a, b, kUsd);
+    const TrustGraph g = graph();
+    const auto path = finder_.find(g, a, b, kUsd);
     ASSERT_TRUE(path.has_value());
     EXPECT_EQ(path->nodes, (std::vector<AccountID>{a, b}));
     EXPECT_EQ(path->intermediate_hops(), 0u);
     EXPECT_NEAR(path->capacity.to_double(), 50.0, 1e-9);
 }
 
-TEST_F(PathFinderTest, FindsTwoHopPathThroughGateway) {
+TEST_P(PathFinderTest, FindsTwoHopPathThroughGateway) {
     const AccountID user = add("user");
     const AccountID gateway = add("gateway");
     const AccountID merchant = add("merchant");
     edge(user, gateway, 30.0);
     edge(gateway, merchant, 100.0);
-    const TrustGraph graph(state_);
-    const auto path = finder_.find(graph, user, merchant, kUsd);
+    const TrustGraph g = graph();
+    const auto path = finder_.find(g, user, merchant, kUsd);
     ASSERT_TRUE(path.has_value());
     EXPECT_EQ(path->nodes, (std::vector<AccountID>{user, gateway, merchant}));
     EXPECT_EQ(path->intermediate_hops(), 1u);
     EXPECT_NEAR(path->capacity.to_double(), 30.0, 1e-9);  // bottleneck
 }
 
-TEST_F(PathFinderTest, PrefersShortestPath) {
+TEST_P(PathFinderTest, PrefersShortestPath) {
     const AccountID a = add("a");
     const AccountID b = add("b");
     const AccountID x = add("x");
@@ -67,39 +79,39 @@ TEST_F(PathFinderTest, PrefersShortestPath) {
     edge(x, y, 10.0);
     edge(y, b, 10.0);
     edge(a, b, 5.0);
-    const TrustGraph graph(state_);
-    const auto path = finder_.find(graph, a, b, kUsd);
+    const TrustGraph g = graph();
+    const auto path = finder_.find(g, a, b, kUsd);
     ASSERT_TRUE(path.has_value());
     EXPECT_EQ(path->nodes.size(), 2u);
 }
 
-TEST_F(PathFinderTest, NoPathReturnsNullopt) {
+TEST_P(PathFinderTest, NoPathReturnsNullopt) {
     const AccountID a = add("a");
     const AccountID b = add("b");
-    const TrustGraph graph(state_);
-    EXPECT_FALSE(finder_.find(graph, a, b, kUsd).has_value());
+    const TrustGraph g = graph();
+    EXPECT_FALSE(finder_.find(g, a, b, kUsd).has_value());
 }
 
-TEST_F(PathFinderTest, DirectionalityRespected) {
+TEST_P(PathFinderTest, DirectionalityRespected) {
     const AccountID a = add("a");
     const AccountID b = add("b");
     edge(a, b, 50.0);  // only a -> b
-    const TrustGraph graph(state_);
-    EXPECT_TRUE(finder_.find(graph, a, b, kUsd).has_value());
-    EXPECT_FALSE(finder_.find(graph, b, a, kUsd).has_value());
+    const TrustGraph g = graph();
+    EXPECT_TRUE(finder_.find(g, a, b, kUsd).has_value());
+    EXPECT_FALSE(finder_.find(g, b, a, kUsd).has_value());
 }
 
-TEST_F(PathFinderTest, ZeroCapacityEdgeIsUnusable) {
+TEST_P(PathFinderTest, ZeroCapacityEdgeIsUnusable) {
     const AccountID a = add("a");
     const AccountID b = add("b");
     edge(a, b, 50.0);
     ledger::TrustLine* line = state_.trustline(a, b, kUsd);
     ASSERT_TRUE(line->transfer_from(a, IouAmount::from_double(50.0)));
-    const TrustGraph graph(state_);
-    EXPECT_FALSE(finder_.find(graph, a, b, kUsd).has_value());
+    const TrustGraph g = graph();
+    EXPECT_FALSE(finder_.find(g, a, b, kUsd).has_value());
 }
 
-TEST_F(PathFinderTest, ExcludedIntermediateAvoided) {
+TEST_P(PathFinderTest, ExcludedIntermediateAvoided) {
     const AccountID a = add("a");
     const AccountID via1 = add("via1");
     const AccountID via2 = add("via2");
@@ -108,29 +120,29 @@ TEST_F(PathFinderTest, ExcludedIntermediateAvoided) {
     edge(via1, b, 10.0);
     edge(a, via2, 10.0);
     edge(via2, b, 10.0);
-    TrustGraph graph(state_);
-    graph.exclude(via1);
-    const auto path = finder_.find(graph, a, b, kUsd);
+    TrustGraph g = graph();
+    g.exclude(via1);
+    const auto path = finder_.find(g, a, b, kUsd);
     ASSERT_TRUE(path.has_value());
     EXPECT_EQ(path->nodes[1], via2);
 }
 
-TEST_F(PathFinderTest, ExcludedEndpointFails) {
+TEST_P(PathFinderTest, ExcludedEndpointFails) {
     const AccountID a = add("a");
     const AccountID b = add("b");
     edge(a, b, 10.0);
-    TrustGraph graph(state_);
-    graph.exclude(b);
-    EXPECT_FALSE(finder_.find(graph, a, b, kUsd).has_value());
+    TrustGraph g = graph();
+    g.exclude(b);
+    EXPECT_FALSE(finder_.find(g, a, b, kUsd).has_value());
 }
 
-TEST_F(PathFinderTest, SameSourceAndDestinationRejected) {
+TEST_P(PathFinderTest, SameSourceAndDestinationRejected) {
     const AccountID a = add("a");
-    const TrustGraph graph(state_);
-    EXPECT_FALSE(finder_.find(graph, a, a, kUsd).has_value());
+    const TrustGraph g = graph();
+    EXPECT_FALSE(finder_.find(g, a, a, kUsd).has_value());
 }
 
-TEST_F(PathFinderTest, RespectsDepthLimit) {
+TEST_P(PathFinderTest, RespectsDepthLimit) {
     // A chain of 6 intermediates with a finder capped at 4.
     std::vector<AccountID> chain;
     chain.push_back(add("n0"));
@@ -141,18 +153,40 @@ TEST_F(PathFinderTest, RespectsDepthLimit) {
     PathFinderConfig config;
     config.max_intermediate_hops = 4;
     PathFinder capped(config);
-    const TrustGraph graph(state_);
-    EXPECT_FALSE(capped.find(graph, chain.front(), chain.back(), kUsd).has_value());
+    const TrustGraph g = graph();
+    EXPECT_FALSE(capped.find(g, chain.front(), chain.back(), kUsd).has_value());
 
     PathFinderConfig loose;
     loose.max_intermediate_hops = 6;
     PathFinder generous(loose);
-    const auto path = generous.find(graph, chain.front(), chain.back(), kUsd);
+    const auto path = generous.find(g, chain.front(), chain.back(), kUsd);
     ASSERT_TRUE(path.has_value());
     EXPECT_EQ(path->intermediate_hops(), 6u);
 }
 
-TEST_F(PathFinderTest, FindsEightHopSpamChain) {
+TEST_P(PathFinderTest, MaxVisitedCutsTheSearchOff) {
+    // A wide two-level fan (a -> 30 relays -> b): the search must
+    // visit every relay before it can close the path, so a budget of 5
+    // gives up while a roomy budget finds the two-hop route.
+    const AccountID a = add("a");
+    const AccountID b = add("b");
+    for (int i = 0; i < 30; ++i) {
+        const AccountID relay = add("relay" + std::to_string(i));
+        edge(a, relay, 10.0);
+        edge(relay, b, 10.0);
+    }
+    PathFinderConfig tight;
+    tight.max_visited = 5;
+    PathFinder starved(tight);
+    const TrustGraph g = graph();
+    EXPECT_FALSE(starved.find(g, a, b, kUsd).has_value());
+
+    const auto path = finder_.find(g, a, b, kUsd);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->intermediate_hops(), 1u);
+}
+
+TEST_P(PathFinderTest, FindsEightHopSpamChain) {
     // The MTL spam shape: 8 intermediates.
     std::vector<AccountID> chain;
     chain.push_back(add("spammer"));
@@ -161,28 +195,28 @@ TEST_F(PathFinderTest, FindsEightHopSpamChain) {
     for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
         edge(chain[i], chain[i + 1], 1e9);
     }
-    const TrustGraph graph(state_);
-    const auto path = finder_.find(graph, chain.front(), chain.back(), kUsd);
+    const TrustGraph g = graph();
+    const auto path = finder_.find(g, chain.front(), chain.back(), kUsd);
     ASSERT_TRUE(path.has_value());
     EXPECT_EQ(path->intermediate_hops(), 8u);
     EXPECT_EQ(path->nodes, chain);
 }
 
-TEST_F(PathFinderTest, ScratchBuffersSurviveReuse) {
+TEST_P(PathFinderTest, ScratchBuffersSurviveReuse) {
     const AccountID a = add("a");
     const AccountID b = add("b");
     const AccountID c = add("c");
     edge(a, b, 10.0);
     edge(b, c, 10.0);
-    const TrustGraph graph(state_);
+    const TrustGraph g = graph();
     for (int i = 0; i < 100; ++i) {
-        const auto path = finder_.find(graph, a, c, kUsd);
+        const auto path = finder_.find(g, a, c, kUsd);
         ASSERT_TRUE(path.has_value());
         EXPECT_EQ(path->nodes.size(), 3u);
     }
 }
 
-TEST_F(PathFinderTest, NoRippleAccountsBlockInteriorRouting) {
+TEST_P(PathFinderTest, NoRippleAccountsBlockInteriorRouting) {
     // A user that does not enable DefaultRipple cannot be used as an
     // intermediate hop, even with capacity on both sides.
     const AccountID a = add("a");
@@ -192,15 +226,15 @@ TEST_F(PathFinderTest, NoRippleAccountsBlockInteriorRouting) {
                           /*allows_rippling=*/false);
     edge(a, locked, 100.0);
     edge(locked, b, 100.0);
-    const TrustGraph graph(state_);
-    EXPECT_FALSE(finder_.find(graph, a, b, kUsd).has_value());
+    const TrustGraph g = graph();
+    EXPECT_FALSE(finder_.find(g, a, b, kUsd).has_value());
     // But it can still be a destination...
-    EXPECT_TRUE(finder_.find(graph, a, locked, kUsd).has_value());
+    EXPECT_TRUE(finder_.find(g, a, locked, kUsd).has_value());
     // ...and a sender.
-    EXPECT_TRUE(finder_.find(graph, locked, b, kUsd).has_value());
+    EXPECT_TRUE(finder_.find(g, locked, b, kUsd).has_value());
 }
 
-TEST_F(PathFinderTest, HubTopologyFindsFourHopRoute) {
+TEST_P(PathFinderTest, HubTopologyFindsFourHopRoute) {
     // user -> minorG -> hub -> majorG -> merchant.
     const AccountID user = add("user");
     const AccountID minor = add("minorG");
@@ -211,11 +245,35 @@ TEST_F(PathFinderTest, HubTopologyFindsFourHopRoute) {
     edge(minor, hub, 1000.0);
     edge(hub, major, 1000.0);
     edge(major, merchant, 1000.0);
-    const TrustGraph graph(state_);
-    const auto path = finder_.find(graph, user, merchant, kUsd);
+    const TrustGraph g = graph();
+    const auto path = finder_.find(g, user, merchant, kUsd);
     ASSERT_TRUE(path.has_value());
     EXPECT_EQ(path->intermediate_hops(), 3u);
     EXPECT_NEAR(path->capacity.to_double(), 100.0, 1e-9);
+}
+
+TEST_P(PathFinderTest, BothEnginesReturnIdenticalPaths) {
+    // A small braided topology with genuine tie-breaks: whatever this
+    // engine returns must match the other engine node for node.
+    const AccountID a = add("a");
+    const AccountID b = add("b");
+    std::vector<AccountID> mids;
+    for (int i = 0; i < 5; ++i) {
+        mids.push_back(add("mid" + std::to_string(i)));
+        edge(a, mids.back(), 10.0 + i);
+        edge(mids.back(), b, 20.0 - i);
+    }
+    edge(mids[1], mids[3], 7.0);
+
+    const TrustGraph mine(state_, GetParam());
+    const TrustGraph other(state_, !GetParam());
+    PathFinder other_finder;
+    const auto p1 = finder_.find(mine, a, b, kUsd);
+    const auto p2 = other_finder.find(other, a, b, kUsd);
+    ASSERT_TRUE(p1.has_value());
+    ASSERT_TRUE(p2.has_value());
+    EXPECT_EQ(p1->nodes, p2->nodes);
+    EXPECT_EQ(p1->capacity.to_double(), p2->capacity.to_double());
 }
 
 }  // namespace

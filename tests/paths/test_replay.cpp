@@ -121,6 +121,75 @@ TEST_F(ReplayTest, StatsRatesHandleZeroDivision) {
     EXPECT_DOUBLE_EQ(empty.single_rate(), 0.0);
 }
 
+TEST_F(ReplayTest, SelectiveRemovalOnlyDeletesThatAccountsOffers) {
+    // remove_all_offers=false: only the REMOVED accounts' offers go;
+    // everyone else's book survives.
+    LedgerState world = state_.clone();
+    const AccountID other_maker = AccountID::from_seed("other-maker");
+    world.create_account(other_maker, XrpAmount::from_xrp(1e6), false, true);
+    world.place_offer(other_maker, Amount::iou(kUsd, 130.0),
+                      Amount::iou(kEur, 100.0));
+    ASSERT_EQ(world.offer_count(), 2u);
+
+    PaymentEngine engine(world);
+    const auto payments = workload();
+    const std::vector<AccountID> removed = {maker_};
+    (void)replay_without(engine, payments, removed, /*remove_all_offers=*/false);
+    EXPECT_EQ(world.offer_count(), 1u);  // other_maker's offer survived
+    EXPECT_TRUE(engine.graph().is_excluded(maker_));
+    EXPECT_FALSE(engine.graph().is_excluded(other_maker));
+}
+
+TEST_F(ReplayTest, RemoveAllOffersSweepsTheWholeBook) {
+    // remove_all_offers=true clears even offers owned by accounts that
+    // were NOT removed — "them and the exchange orders from the system".
+    LedgerState world = state_.clone();
+    const AccountID other_maker = AccountID::from_seed("other-maker");
+    world.create_account(other_maker, XrpAmount::from_xrp(1e6), false, true);
+    world.place_offer(other_maker, Amount::iou(kUsd, 130.0),
+                      Amount::iou(kEur, 100.0));
+
+    PaymentEngine engine(world);
+    const auto payments = workload();
+    const std::vector<AccountID> removed = {maker_};
+    const ReplayStats stats = replay_without(engine, payments, removed, true);
+    EXPECT_EQ(world.offer_count(), 0u);
+    EXPECT_EQ(stats.cross_delivered, 0u);
+}
+
+TEST_F(ReplayTest, ExclusionsPersistAcrossReplayCalls) {
+    // replay_without mutates the engine's graph and ledger; a later
+    // replay() through the SAME engine still sees the removal. This is
+    // by design — the engine stays the removed-world engine — and
+    // callers wanting a fresh world build a fresh engine (as the
+    // benches do). Pin it so a change here is deliberate.
+    LedgerState world = state_.clone();
+    PaymentEngine engine(world);
+    const auto payments = workload();
+    // Remove the USD gateway: the single-currency route user ->
+    // g_usd -> direct_merchant loses its only intermediate.
+    const std::vector<AccountID> removed = {g_usd_};
+    const ReplayStats first =
+        replay_without(engine, payments, removed, /*remove_all_offers=*/false);
+    EXPECT_EQ(first.single_delivered, 0u);
+
+    const ReplayStats again = replay(engine, payments);
+    EXPECT_EQ(again.single_delivered, 0u);  // exclusion still in force
+    EXPECT_TRUE(engine.graph().is_excluded(g_usd_));
+}
+
+TEST_F(ReplayTest, RemovedSenderFailsItsPayments) {
+    // Endpoint exclusion: payments FROM a removed account cannot route.
+    LedgerState world = state_.clone();
+    PaymentEngine engine(world);
+    const auto payments = workload();
+    const std::vector<AccountID> removed = {user_};
+    const ReplayStats stats =
+        replay_without(engine, payments, removed, /*remove_all_offers=*/false);
+    EXPECT_EQ(stats.delivered(), 0u);
+    EXPECT_EQ(stats.submitted(), 4u);  // still tallied as submitted
+}
+
 TEST_F(ReplayTest, BalancesEvolveDuringReplay) {
     // "We carefully handled the user balances by updating them after
     // each successful payment": replaying the same big payment twice

@@ -19,9 +19,11 @@ const char* const kAllVars[] = {
     "XRPL_BENCH_PAYMENTS",
     "XRPL_BENCH_CONSENSUS_SCALE",
     "XRPL_BENCH_REPLAY_PAYMENTS",
+    "XRPL_BENCH_REPLAY_ACCOUNTS",
     "XRPL_BENCH_DATAGEN_PAYMENTS",
     "XRPL_BENCH_JSON_DIR",
     "XRPL_DATASET_DIR",
+    "XRPL_PATH_INDEX",
 };
 
 /// Every test starts and ends with a clean environment (the suite may
@@ -54,9 +56,11 @@ TEST_F(OptionsTest, DefaultsWithCleanEnvironment) {
     EXPECT_EQ(opts.bench_payments, 250'000u);
     EXPECT_EQ(opts.bench_consensus_scale, 10u);
     EXPECT_EQ(opts.bench_replay_payments, 40'000u);
+    EXPECT_EQ(opts.bench_replay_accounts, 20'000u);
     EXPECT_EQ(opts.bench_datagen_payments, 100'000u);
     EXPECT_EQ(opts.bench_json_dir, ".");
     EXPECT_EQ(opts.dataset_dir, "");  // caching off by default
+    EXPECT_TRUE(opts.path_index);     // CSR index engine is the default
 }
 
 TEST_F(OptionsTest, ParsesEveryKnob) {
@@ -65,9 +69,11 @@ TEST_F(OptionsTest, ParsesEveryKnob) {
     ::setenv("XRPL_BENCH_PAYMENTS", "1234", 1);
     ::setenv("XRPL_BENCH_CONSENSUS_SCALE", "55", 1);
     ::setenv("XRPL_BENCH_REPLAY_PAYMENTS", "777", 1);
+    ::setenv("XRPL_BENCH_REPLAY_ACCOUNTS", "888", 1);
     ::setenv("XRPL_BENCH_DATAGEN_PAYMENTS", "4321", 1);
     ::setenv("XRPL_BENCH_JSON_DIR", "/tmp/reports", 1);
     ::setenv("XRPL_DATASET_DIR", "/tmp/datasets", 1);
+    ::setenv("XRPL_PATH_INDEX", "0", 1);
     const Options opts = Options::from_env();
     EXPECT_EQ(opts.threads, 3u);
     EXPECT_TRUE(opts.obs);
@@ -75,9 +81,11 @@ TEST_F(OptionsTest, ParsesEveryKnob) {
     EXPECT_EQ(opts.bench_payments, 1234u);
     EXPECT_EQ(opts.bench_consensus_scale, 55u);
     EXPECT_EQ(opts.bench_replay_payments, 777u);
+    EXPECT_EQ(opts.bench_replay_accounts, 888u);
     EXPECT_EQ(opts.bench_datagen_payments, 4321u);
     EXPECT_EQ(opts.bench_json_dir, "/tmp/reports");
     EXPECT_EQ(opts.dataset_dir, "/tmp/datasets");
+    EXPECT_FALSE(opts.path_index);
 }
 
 TEST_F(OptionsTest, ObsExplicitDistinguishesZeroFromAbsent) {
